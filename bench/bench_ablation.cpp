@@ -1,0 +1,216 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   1. CG truncation fs — the knee where convergence stops improving
+//      (paper: fs=6 is the smallest safe value for f=100).
+//   2. Register tile size T and staging depth BIN — occupancy vs reuse.
+//   3. Load scheme × occupancy — when does non-coalesced win?
+//   4. Solver × precision — epoch-time stack.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "gpusim/occupancy.hpp"
+
+using namespace cumf;
+
+namespace {
+
+void ablate_fs() {
+  std::printf("\n--- Ablation 1: CG truncation fs (scaled Netflix, f=32) ---\n");
+  auto prepared = bench::prepare(DatasetPreset::netflix(), 0.3);
+  Table t({"fs", "test RMSE after 10 epochs", "avg CG iters",
+           "modelled solve s/epoch (f=100 full scale)"});
+  const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
+  const auto shape = bench::full_x_shape(DatasetPreset::netflix());
+  for (const std::uint32_t fs : {1u, 2u, 4u, 6u, 8u, 12u, 32u}) {
+    AlsOptions options;
+    options.f = 32;
+    options.lambda = 0.05f;
+    options.solver.kind = SolverKind::CgFp32;
+    options.solver.cg_fs = fs;
+    AlsEngine engine(prepared.split.train, options);
+    for (int epoch = 0; epoch < 10; ++epoch) {
+      engine.run_epoch();
+    }
+    const double r = rmse(prepared.split.test, engine.user_factors(),
+                          engine.item_factors());
+    const auto& stats = engine.solve_stats();
+    AlsKernelConfig config;
+    config.solver = SolverKind::CgFp32;
+    config.cg_fs = fs;
+    const double solve_s =
+        update_phase_times(dev, shape, config).solve.seconds;
+    t.add_row({std::to_string(fs), Table::num(r, 4),
+               Table::num(static_cast<double>(stats.cg_iterations) /
+                              static_cast<double>(stats.systems),
+                          2),
+               Table::num(solve_s, 3)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "Expected: solve time grows linearly in fs while accuracy saturates.\n"
+      "At this reduced scale the saturation point is very small (the scaled\n"
+      "systems are easy; truncation even acts as mild extra regularization);\n"
+      "at the paper's f=100 full scale the knee sits at fs=6.\n");
+}
+
+void ablate_tile_bin() {
+  std::printf("\n--- Ablation 2: tile T and BIN vs occupancy (Maxwell, f=100) ---\n");
+  const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
+  const auto shape = bench::full_x_shape(DatasetPreset::netflix());
+  Table t({"T", "BIN", "regs/thread", "blocks/SM", "limited by",
+           "hermitian s (modelled)"});
+  for (const int tile : {4, 5, 10, 20, 25}) {
+    for (const int bin : {8, 32, 128}) {
+      AlsKernelConfig config;
+      config.tile = tile;
+      config.bin = bin;
+      const auto occ = hermitian_occupancy(dev, config);
+      const auto times = update_phase_times(dev, shape, config);
+      t.add_row({std::to_string(tile), std::to_string(bin),
+                 std::to_string(gpusim::hermitian_regs_per_thread(100, tile)),
+                 std::to_string(occ.blocks_per_sm),
+                 gpusim::to_string(occ.limited_by),
+                 Table::num(times.hermitian_seconds(), 3)});
+    }
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("Expected: small T → many threads/low register pressure but "
+              "more redundant loads;\nlarge T → register-limited occupancy "
+              "collapse. T=10, BIN=32 (the paper's choice)\nsits at the "
+              "sweet spot.\n");
+}
+
+void ablate_load_scheme_occupancy() {
+  std::printf("\n--- Ablation 3: load scheme win region vs occupancy ---\n");
+  // Compare coal vs nonCoal-L1 while artificially varying occupancy via the
+  // tile size (bigger tiles → fewer resident blocks).
+  const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
+  const auto shape = bench::full_x_shape(DatasetPreset::netflix());
+  Table t({"T", "blocks/SM", "coal load (s)", "nonCoal-L1 load (s)",
+           "nonCoal wins?"});
+  for (const int tile : {4, 5, 10, 20, 25}) {
+    AlsKernelConfig coal;
+    coal.tile = tile;
+    coal.load_scheme = LoadScheme::Coalesced;
+    AlsKernelConfig non = coal;
+    non.load_scheme = LoadScheme::NonCoalescedL1;
+    const auto occ = hermitian_occupancy(dev, coal);
+    const double t_coal = update_phase_times(dev, shape, coal).load.seconds;
+    const double t_non = update_phase_times(dev, shape, non).load.seconds;
+    t.add_row({std::to_string(tile), std::to_string(occ.blocks_per_sm),
+               Table::num(t_coal, 3), Table::num(t_non, 3),
+               t_non < t_coal ? "yes" : "no"});
+  }
+  std::printf("%s", t.to_string().c_str());
+}
+
+void ablate_solver_stack() {
+  std::printf("\n--- Ablation 4: full epoch time by solver & precision "
+              "(Netflix full scale) ---\n");
+  const auto preset = DatasetPreset::netflix();
+  Table t({"device", "LU-FP32", "Cholesky-FP32", "CG-FP32", "CG-FP16",
+           "LU/CG-FP16"});
+  for (const auto& dev :
+       {gpusim::DeviceSpec::kepler_k40(), gpusim::DeviceSpec::maxwell_titan_x(),
+        gpusim::DeviceSpec::pascal_p100()}) {
+    std::vector<std::string> row{dev.name};
+    double lu = 0;
+    double cg16 = 0;
+    for (const auto kind :
+         {SolverKind::LuFp32, SolverKind::CholeskyFp32, SolverKind::CgFp32,
+          SolverKind::CgFp16}) {
+      AlsKernelConfig config;
+      config.solver = kind;
+      const double t_epoch = als_epoch_seconds(
+          dev, static_cast<double>(preset.full_m),
+          static_cast<double>(preset.full_n),
+          static_cast<double>(preset.full_nnz), config);
+      if (kind == SolverKind::LuFp32) {
+        lu = t_epoch;
+      }
+      if (kind == SolverKind::CgFp16) {
+        cg16 = t_epoch;
+      }
+      row.push_back(Table::num(t_epoch, 3));
+    }
+    row.push_back(Table::num(lu / cg16, 2) + "x");
+    t.add_row(row);
+  }
+  std::printf("%s", t.to_string().c_str());
+}
+
+void ablate_multi_gpu() {
+  std::printf("\n--- Ablation 5: multi-GPU scaling, NVLink vs PCIe "
+              "(Hugewiki, Pascal) ---\n");
+  // The paper's §I motivates NVLink (40 GB/s/link) over PCIe; this sweep
+  // shows why: the all-gather after each half-sweep caps PCIe scaling.
+  const auto preset = DatasetPreset::hugewiki();
+  const auto dev = gpusim::DeviceSpec::pascal_p100();
+  AlsKernelConfig config;
+  config.solver = SolverKind::CgFp16;
+  const double m = static_cast<double>(preset.full_m);
+  const double n = static_cast<double>(preset.full_n);
+  const double nnz = static_cast<double>(preset.full_nnz);
+  const double base =
+      als_epoch_seconds(dev, m, n, nnz, config, 1, gpusim::LinkSpec::nvlink());
+
+  Table t({"GPUs", "NVLink epoch (s)", "NVLink speedup", "PCIe epoch (s)",
+           "PCIe speedup"});
+  for (const int gpus : {1, 2, 4, 8}) {
+    const double nv = als_epoch_seconds(dev, m, n, nnz, config, gpus,
+                                        gpusim::LinkSpec::nvlink());
+    const double pcie = als_epoch_seconds(dev, m, n, nnz, config, gpus,
+                                          gpusim::LinkSpec::pcie3());
+    t.add_row({std::to_string(gpus), Table::num(nv, 2),
+               Table::num(base / nv, 2) + "x", Table::num(pcie, 2),
+               Table::num(base / pcie, 2) + "x"});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("Expected: near-linear scaling over NVLink; PCIe saturates as\n"
+              "the factor all-gather dominates (the paper's case for NVLink).\n");
+}
+
+void ablate_pcg() {
+  std::printf("\n--- Ablation 6: Jacobi-preconditioned CG (extension) ---\n");
+  // ALS normal equations after the λ·n_u ridge are well-conditioned, so
+  // the preconditioner should change little there; it pays off when θ
+  // columns are badly scaled. Report both: ALS convergence parity and the
+  // iteration win on an ill-scaled synthetic system.
+  auto prepared = bench::prepare(DatasetPreset::netflix(), 0.3);
+  Table t({"solver", "test RMSE after 8 epochs", "avg iters/system"});
+  for (const auto kind : {SolverKind::CgFp32, SolverKind::PcgFp32}) {
+    AlsOptions options;
+    options.f = 32;
+    options.lambda = 0.05f;
+    options.solver.kind = kind;
+    options.solver.cg_fs = 6;
+    AlsEngine engine(prepared.split.train, options);
+    for (int epoch = 0; epoch < 8; ++epoch) {
+      engine.run_epoch();
+    }
+    const auto stats = engine.solve_stats();
+    t.add_row({to_string(kind),
+               Table::num(rmse(prepared.split.test, engine.user_factors(),
+                               engine.item_factors()),
+                          4),
+               Table::num(static_cast<double>(stats.cg_iterations) /
+                              static_cast<double>(stats.systems),
+                          2)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("Expected: parity on ALS systems (ridge keeps them well-\n"
+              "conditioned); PCG's iteration win appears on ill-scaled\n"
+              "systems (see Pcg.FewerIterationsOnIllScaledSystem).\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablations", "fs knee, tile/BIN, load scheme, solver");
+  ablate_fs();
+  ablate_tile_bin();
+  ablate_load_scheme_occupancy();
+  ablate_solver_stack();
+  ablate_multi_gpu();
+  ablate_pcg();
+  return 0;
+}

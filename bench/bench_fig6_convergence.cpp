@@ -1,0 +1,166 @@
+// Fig. 6 + Table IV: test RMSE vs training time for cuMF-ALS (Maxwell and
+// Pascal), GPU-ALS [31], LIBMF and NOMAD, on the three datasets; Hugewiki
+// uses four GPUs for the ALS implementations (and 64 NOMAD machines), as in
+// the paper.
+//
+// Numerics (epochs, RMSE trajectories) come from real training runs on the
+// scaled datasets; the x-axis seconds are the cost model's per-epoch times
+// at the published full-scale m/n/Nz with f=100. BIDMach is reported the
+// way the paper reports it: it does not reach the acceptable RMSE, so only
+// its kernel throughput is shown (see bench_fig7).
+#include <cstdio>
+
+#include "baselines/als_plain.hpp"
+#include "baselines/sgd_blocked.hpp"
+#include "baselines/sgd_nomad.hpp"
+#include "bench/bench_util.hpp"
+#include "gpusim/cost_model.hpp"
+
+using namespace cumf;
+
+namespace {
+
+struct DatasetRun {
+  DatasetPreset preset;
+  int gpus = 1;
+  int nomad_machines = 32;
+  float sgd_lr = 0.02f;
+  float sgd_lambda = 0.04f;  ///< plain-λ SGD regularization (rating-scale dependent)
+};
+
+void run_dataset(const DatasetRun& cfg) {
+  auto prepared = bench::prepare(cfg.preset);
+  const auto& preset = prepared.preset;
+  std::printf("\n================ %s (scaled: m=%u n=%u nnz=%llu) "
+              "================\n",
+              preset.name.c_str(), preset.scaled.m, preset.scaled.n,
+              static_cast<unsigned long long>(preset.scaled.nnz));
+  std::printf("scaled acceptable RMSE: %.4f (noise floor %.4f x 1.22)\n",
+              prepared.scaled_target, prepared.data.noise_floor_rmse);
+
+  const double m = static_cast<double>(preset.full_m);
+  const double n = static_cast<double>(preset.full_n);
+  const double nnz = static_cast<double>(preset.full_nnz);
+  const auto maxwell = gpusim::DeviceSpec::maxwell_titan_x();
+  const auto pascal = gpusim::DeviceSpec::pascal_p100();
+
+  // Per-epoch simulated seconds at full scale.
+  const auto cumf_cfg = cumfals_kernel_config(100, SolverKind::CgFp16);
+  auto plain_cfg = cumf_cfg;
+  plain_cfg.solver = SolverKind::LuFp32;
+  plain_cfg.load_scheme = LoadScheme::Coalesced;
+  plain_cfg.register_tiling = false;
+  const double sec_cumf_m =
+      als_epoch_seconds(maxwell, m, n, nnz, cumf_cfg, cfg.gpus);
+  const double sec_cumf_p =
+      als_epoch_seconds(pascal, m, n, nnz, cumf_cfg, cfg.gpus);
+  const double sec_plain_m =
+      als_epoch_seconds(maxwell, m, n, nnz, plain_cfg, cfg.gpus);
+  const double sec_libmf = gpusim::host_sgd_epoch_seconds(
+      gpusim::HostSpec::libmf_40core(), nnz, 100);
+  const auto nomad_host = gpusim::HostSpec::nomad_cluster(cfg.nomad_machines);
+  const double sec_nomad =
+      std::max(gpusim::host_sgd_epoch_seconds(nomad_host, nnz, 100),
+               gpusim::host_network_epoch_seconds(nomad_host, n, 100));
+
+  // Functional training runs (scaled data, f=32).
+  const int kAlsEpochs = 15;
+  const int kSgdEpochs = 35;
+
+  AlsOptions cumf_options;
+  cumf_options.f = 32;
+  cumf_options.lambda = static_cast<real_t>(preset.paper_lambda);
+  cumf_options.solver.kind = SolverKind::CgFp16;
+  cumf_options.solver.cg_fs = 6;
+  AlsEngine cumf_m(prepared.split.train, cumf_options);
+  const auto curve_cumf_m = bench::run_convergence(
+      cumf_m, prepared.split.test, kAlsEpochs, sec_cumf_m,
+      prepared.scaled_target);
+
+  AlsEngine cumf_p(prepared.split.train, cumf_options);
+  const auto curve_cumf_p = bench::run_convergence(
+      cumf_p, prepared.split.test, kAlsEpochs, sec_cumf_p,
+      prepared.scaled_target);
+
+  auto plain = make_gpu_als_baseline(
+      prepared.split.train, 32, static_cast<real_t>(preset.paper_lambda));
+  const auto curve_plain = bench::run_convergence(
+      *plain.engine, prepared.split.test, kAlsEpochs, sec_plain_m,
+      prepared.scaled_target);
+
+  SgdOptions libmf_options;
+  libmf_options.f = 32;
+  libmf_options.lambda = cfg.sgd_lambda;
+  libmf_options.lr = cfg.sgd_lr;
+  libmf_options.lr_decay = 0.05f;
+  libmf_options.workers = 4;
+  libmf_options.seed = 11;
+  BlockedSgd libmf(prepared.split.train, libmf_options);
+  const auto curve_libmf = bench::run_convergence(
+      libmf, prepared.split.test, kSgdEpochs, sec_libmf,
+      prepared.scaled_target);
+
+  auto nomad_options = libmf_options;
+  nomad_options.workers = 2;
+  NomadSgd nomad(prepared.split.train, nomad_options);
+  const auto curve_nomad = bench::run_convergence(
+      nomad, prepared.split.test, kSgdEpochs, sec_nomad,
+      prepared.scaled_target);
+
+  // Fig. 6 series.
+  std::printf("\n%s", curve_libmf.series("LIBMF (40-core model)").c_str());
+  std::printf("%s", curve_nomad
+                        .series("NOMAD (" +
+                                std::to_string(cfg.nomad_machines) +
+                                "-machine model)")
+                        .c_str());
+  std::printf("%s", curve_plain.series("GPU-ALS@M").c_str());
+  std::printf("%s", curve_cumf_m.series("cuMF-ALS@M").c_str());
+  std::printf("%s", curve_cumf_p.series("cuMF-ALS@P").c_str());
+
+  // Table IV row: seconds to acceptable RMSE.
+  Table t({"solver", "epochs to target", "sec/epoch (modelled)",
+           "time to acceptable RMSE (s)"});
+  const auto add = [&](const char* name, const ConvergenceTracker& c,
+                       double per_epoch) {
+    const auto epochs = c.epochs_to(prepared.scaled_target);
+    t.add_row({name, epochs ? std::to_string(*epochs) : "—",
+               Table::num(per_epoch, 2),
+               bench::fmt_time(c.time_to(prepared.scaled_target))});
+  };
+  add("LIBMF", curve_libmf, sec_libmf);
+  add("NOMAD", curve_nomad, sec_nomad);
+  add("GPU-ALS@M", curve_plain, sec_plain_m);
+  add("cuMF-ALS@M", curve_cumf_m, sec_cumf_m);
+  add("cuMF-ALS@P", curve_cumf_p, sec_cumf_p);
+  std::printf("\nTable IV analogue — %s%s:\n%s", preset.name.c_str(),
+              cfg.gpus > 1 ? " (ALS on 4 GPUs)" : "",
+              t.to_string().c_str());
+
+  const auto t_cumf_p = curve_cumf_p.time_to(prepared.scaled_target);
+  const auto t_libmf = curve_libmf.time_to(prepared.scaled_target);
+  const auto t_plain = curve_plain.time_to(prepared.scaled_target);
+  const auto t_cumf_m = curve_cumf_m.time_to(prepared.scaled_target);
+  if (t_cumf_p && t_libmf) {
+    std::printf("cuMF-ALS@P / LIBMF speedup: %.1fx (paper: %s)\n",
+                *t_libmf / *t_cumf_p,
+                preset.name == "Netflix"      ? "7x"
+                : preset.name == "YahooMusic" ? "5.6x"
+                                              : "44.4x");
+  }
+  if (t_cumf_m && t_plain) {
+    std::printf("cuMF-ALS@M / GPU-ALS@M speedup: %.1fx (paper: 2x-4x)\n",
+                *t_plain / *t_cumf_m);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 6 / Table IV",
+                      "convergence time vs CPU and GPU baselines");
+  run_dataset({DatasetPreset::netflix(), 1, 32, 0.02f, 0.04f});
+  run_dataset({DatasetPreset::yahoomusic(), 1, 32, 0.0015f, 1.0f});
+  run_dataset({DatasetPreset::hugewiki(), 4, 64, 0.03f, 0.04f});
+  return 0;
+}

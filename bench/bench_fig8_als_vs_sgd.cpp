@@ -1,0 +1,96 @@
+// Fig. 8: ALS vs SGD on GPUs — one and four devices, three datasets.
+//
+// Functional runs give each algorithm's RMSE-per-epoch trajectory; the cost
+// model gives per-epoch device seconds at full scale (cuMF-ALS with CG-FP16;
+// cuMF-SGD with Hogwild-style FP16 updates).
+#include <cstdio>
+
+#include "baselines/gpu_sgd.hpp"
+#include "bench/bench_util.hpp"
+
+using namespace cumf;
+
+namespace {
+
+void run_dataset(const DatasetPreset& preset_in, bool also_four_gpus,
+                 float sgd_lr, float sgd_lambda) {
+  auto prepared = bench::prepare(preset_in);
+  const auto& preset = prepared.preset;
+  std::printf("\n================ %s ================\n",
+              preset.name.c_str());
+  std::printf("scaled acceptable RMSE: %.4f\n", prepared.scaled_target);
+
+  const double m = static_cast<double>(preset.full_m);
+  const double n = static_cast<double>(preset.full_n);
+  const double nnz = static_cast<double>(preset.full_nnz);
+  const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
+  const auto als_cfg = [&] {
+    AlsKernelConfig c;
+    c.f = 100;
+    c.solver = SolverKind::CgFp16;
+    return c;
+  }();
+
+  const int gpu_counts[] = {1, 4};
+  Table t({"solver", "epochs", "sec/epoch", "time to target (s)"});
+  for (const int gpus : gpu_counts) {
+    if (gpus == 4 && !also_four_gpus) {
+      continue;
+    }
+    // ALS.
+    AlsOptions als_options;
+    als_options.f = 32;
+    als_options.lambda = static_cast<real_t>(preset.paper_lambda);
+    als_options.solver.kind = SolverKind::CgFp16;
+    als_options.solver.cg_fs = 6;
+    AlsEngine als(prepared.split.train, als_options);
+    const double sec_als = als_epoch_seconds(dev, m, n, nnz, als_cfg, gpus);
+    const auto curve_als = bench::run_convergence(
+        als, prepared.split.test, 15, sec_als, prepared.scaled_target);
+    std::printf("%s", curve_als
+                          .series("als@" + std::to_string(gpus))
+                          .c_str());
+    const auto als_epochs = curve_als.epochs_to(prepared.scaled_target);
+    t.add_row({"als@" + std::to_string(gpus),
+               als_epochs ? std::to_string(*als_epochs) : "—",
+               Table::num(sec_als, 3),
+               bench::fmt_time(curve_als.time_to(prepared.scaled_target))});
+
+    // SGD.
+    GpuSgd::Options sgd_options;
+    sgd_options.f = 32;
+    sgd_options.lambda = sgd_lambda;
+    sgd_options.lr = sgd_lr;
+    sgd_options.lr_decay = 0.05f;
+    sgd_options.seed = 5;
+    sgd_options.half_precision = true;
+    GpuSgd sgd(prepared.split.train, sgd_options);
+    const double sec_sgd = sgd_epoch_seconds(
+        dev, nnz, 100, true, gpus, gpusim::LinkSpec::nvlink(), m, n);
+    const auto curve_sgd = bench::run_convergence(
+        sgd, prepared.split.test, 40, sec_sgd, prepared.scaled_target);
+    std::printf("%s", curve_sgd
+                          .series("sgd@" + std::to_string(gpus))
+                          .c_str());
+    const auto sgd_epochs = curve_sgd.epochs_to(prepared.scaled_target);
+    t.add_row({"sgd@" + std::to_string(gpus),
+               sgd_epochs ? std::to_string(*sgd_epochs) : "—",
+               Table::num(sec_sgd, 3),
+               bench::fmt_time(curve_sgd.time_to(prepared.scaled_target))});
+  }
+  std::printf("\n%s", t.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 8", "ALS vs SGD on one and four GPUs");
+  run_dataset(DatasetPreset::netflix(), false, 0.02f, 0.04f);
+  run_dataset(DatasetPreset::yahoomusic(), false, 0.0015f, 1.0f);
+  run_dataset(DatasetPreset::hugewiki(), true, 0.03f, 0.04f);
+  std::printf(
+      "\nExpected shape (paper Fig. 8): SGD epochs are cheaper but ALS needs\n"
+      "fewer of them; on one GPU the two are comparable, and with four GPUs\n"
+      "ALS overtakes SGD on Hugewiki (ALS parallelizes without conflicts).\n");
+  return 0;
+}

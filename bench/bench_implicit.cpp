@@ -1,0 +1,70 @@
+// §V-F: implicit matrix factorization — per-iteration time of cuMF-ALS vs
+// the `implicit` library and QMF (paper: 2.2 s vs 90 s vs 360 s on
+// Netflix-implicit), plus a functional implicit-ALS convergence run.
+#include <cstdio>
+
+#include "baselines/implicit_cpu.hpp"
+#include "bench/bench_util.hpp"
+#include "data/implicit.hpp"
+
+using namespace cumf;
+
+int main() {
+  bench::print_header("Implicit MF (sec. V-F)",
+                      "per-iteration time: cuMF-ALS vs implicit vs QMF");
+
+  const auto preset = DatasetPreset::netflix();
+  const double m = static_cast<double>(preset.full_m);
+  const double n = static_cast<double>(preset.full_n);
+  const double nnz = static_cast<double>(preset.full_nnz);
+  const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
+  const auto host = gpusim::HostSpec::libmf_40core();
+
+  const double gpu = implicit_gpu_iteration_seconds(dev, m, n, nnz, 100, 6);
+  const double lib = implicit_cpu_iteration_seconds(
+      ImplicitCpuFlavor::ImplicitLib, host, m, n, nnz, 100);
+  const double qmf = implicit_cpu_iteration_seconds(ImplicitCpuFlavor::Qmf,
+                                                    host, m, n, nnz, 100);
+
+  Table t({"library", "sec / iteration (modelled)", "paper reports"});
+  t.add_row({"cuMF-ALS (1 GPU)", Table::num(gpu, 1), "2.2"});
+  t.add_row({"implicit (CPU)", Table::num(lib, 1), "90"});
+  t.add_row({"QMF (CPU)", Table::num(qmf, 1), "360"});
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Functional implicit ALS on the scaled dataset: dense-loss descent and
+  // ranking quality (observed items must outscore random ones).
+  auto prepared = bench::prepare(preset, 0.15);
+  const auto implicit = to_implicit(prepared.data.ratings, 3.5f, 40.0);
+  ImplicitAlsOptions options;
+  options.f = 16;
+  options.lambda = 0.05f;
+  options.solver.kind = SolverKind::CgFp32;
+  options.solver.cg_fs = 6;
+  ImplicitAlsEngine engine(implicit, options);
+
+  std::printf("Functional implicit ALS (scaled Netflix, alpha=40, f=16):\n");
+  std::printf("# epoch  AUC(observed > random)\n");
+  Rng rng(33);
+  for (int epoch = 1; epoch <= 6; ++epoch) {
+    engine.run_epoch();
+    int wins = 0;
+    int trials = 0;
+    for (const Rating& e : implicit.interactions.entries()) {
+      if (trials >= 2000) {
+        break;
+      }
+      const auto rv = static_cast<index_t>(
+          rng.uniform_index(implicit.interactions.cols()));
+      wins += engine.score(e.u, e.v) > engine.score(e.u, rv);
+      ++trials;
+    }
+    std::printf("%d\t%.3f\n", epoch,
+                static_cast<double>(wins) / static_cast<double>(trials));
+  }
+  std::printf(
+      "\nExpected shape: cuMF-ALS per-iteration time 1-2 orders of magnitude\n"
+      "below the CPU libraries; QMF slower than implicit; AUC climbs well\n"
+      "above 0.5 within a few epochs (the implicit model learns preferences).\n");
+  return 0;
+}

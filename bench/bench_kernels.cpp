@@ -1,0 +1,159 @@
+// Google-benchmark microbenchmarks of the hot host-side kernels: the tiled
+// get_hermitian row kernel vs its naive reference, the three solvers, the
+// FP16 conversions, and the dense building blocks. These measure the
+// *functional* (host) implementations — useful for keeping the simulator's
+// own throughput honest while iterating.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/als.hpp"
+#include "core/hermitian.hpp"
+#include "core/solver.hpp"
+#include "data/generator.hpp"
+#include "half/half.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/gemm.hpp"
+#include "sparse/csr.hpp"
+
+namespace cumf {
+namespace {
+
+struct HermitianFixture {
+  CsrMatrix csr;
+  Matrix theta;
+  std::vector<real_t> a;
+  std::vector<real_t> b;
+
+  explicit HermitianFixture(std::size_t f) {
+    SyntheticConfig cfg;
+    cfg.m = 500;
+    cfg.n = 300;
+    cfg.nnz = 20000;
+    cfg.seed = 3;
+    const auto data = generate_synthetic(cfg);
+    csr = CsrMatrix::from_coo(data.ratings);
+    theta = Matrix(300, f);
+    Rng rng(5);
+    for (auto& v : theta.data()) {
+      v = static_cast<real_t>(rng.normal(0.0, 1.0));
+    }
+    a.resize(f * f);
+    b.resize(f);
+  }
+};
+
+void BM_HermitianTiled(benchmark::State& state) {
+  const auto f = static_cast<std::size_t>(state.range(0));
+  HermitianFixture fx(f);
+  HermitianParams params{pick_tile(f, 10), 32};
+  HermitianWorkspace ws;
+  index_t u = 0;
+  for (auto _ : state) {
+    get_hermitian_row(fx.csr, fx.theta, u, 0.05f, params, ws, fx.a, fx.b);
+    u = (u + 1) % fx.csr.rows();
+    benchmark::DoNotOptimize(fx.a.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HermitianTiled)->Arg(32)->Arg(64)->Arg(100);
+
+void BM_HermitianReference(benchmark::State& state) {
+  const auto f = static_cast<std::size_t>(state.range(0));
+  HermitianFixture fx(f);
+  index_t u = 0;
+  for (auto _ : state) {
+    get_hermitian_row_reference(fx.csr, fx.theta, u, 0.05f, fx.a, fx.b);
+    u = (u + 1) % fx.csr.rows();
+    benchmark::DoNotOptimize(fx.a.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HermitianReference)->Arg(32)->Arg(64)->Arg(100);
+
+std::vector<real_t> make_spd(std::size_t f, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<real_t> g(f * f);
+  for (auto& v : g) {
+    v = static_cast<real_t>(rng.normal(0.0, 1.0));
+  }
+  std::vector<real_t> a(f * f, 0);
+  for (std::size_t i = 0; i < f; ++i) {
+    for (std::size_t j = 0; j < f; ++j) {
+      double acc = i == j ? 1.0 : 0.0;
+      for (std::size_t k = 0; k < f; ++k) {
+        acc += static_cast<double>(g[i * f + k]) *
+               static_cast<double>(g[j * f + k]);
+      }
+      a[i * f + j] = static_cast<real_t>(acc);
+    }
+  }
+  return a;
+}
+
+void BM_Solver(benchmark::State& state) {
+  const auto kind = static_cast<SolverKind>(state.range(0));
+  const auto f = static_cast<std::size_t>(state.range(1));
+  const auto a = make_spd(f, 7);
+  std::vector<real_t> b(f, 1.0f);
+  std::vector<real_t> x(f, 0.0f);
+  SolverOptions options;
+  options.kind = kind;
+  options.cg_fs = 6;
+  SystemSolver solver(f, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(a, b, x));
+  }
+  state.SetLabel(to_string(kind));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Solver)
+    ->Args({static_cast<int>(SolverKind::LuFp32), 100})
+    ->Args({static_cast<int>(SolverKind::CholeskyFp32), 100})
+    ->Args({static_cast<int>(SolverKind::CgFp32), 100})
+    ->Args({static_cast<int>(SolverKind::CgFp16), 100});
+
+void BM_HalfRoundTrip(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<float> values(4096);
+  for (auto& v : values) {
+    v = static_cast<float>(rng.normal(0.0, 100.0));
+  }
+  for (auto _ : state) {
+    float acc = 0;
+    for (const float v : values) {
+      acc += static_cast<float>(half(v));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_HalfRoundTrip);
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  std::vector<real_t> a(n * n);
+  std::vector<real_t> b(n * n);
+  std::vector<real_t> c(n * n);
+  for (auto& v : a) {
+    v = static_cast<real_t>(rng.normal(0.0, 1.0));
+  }
+  for (auto& v : b) {
+    v = static_cast<real_t>(rng.normal(0.0, 1.0));
+  }
+  for (auto _ : state) {
+    gemm(n, n, n, 1.0f, a, b, 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace cumf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Device explorer: use the gpusim substrate directly to answer "how would
+// my kernel configuration behave on each GPU generation?" — occupancy,
+// phase-by-phase times and the compute/memory/latency bottleneck, for any
+// (f, tile, BIN, solver) combination.
+//
+// Usage: device_explorer [f] [tile] [bin]     (defaults: 100 10 32)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/als.hpp"
+#include "core/kernel_stats.hpp"
+#include "data/presets.hpp"
+#include "gpusim/occupancy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cumf;
+
+  AlsKernelConfig config;
+  config.f = argc > 1 ? std::atoi(argv[1]) : 100;
+  config.tile = argc > 2 ? std::atoi(argv[2])
+                         : pick_tile(static_cast<std::size_t>(config.f), 10);
+  config.bin = argc > 3 ? std::atoi(argv[3]) : 32;
+  config.solver = SolverKind::CgFp16;
+
+  const auto preset = DatasetPreset::netflix();
+  const UpdateShape shape{static_cast<double>(preset.full_m),
+                          static_cast<double>(preset.full_n),
+                          static_cast<double>(preset.full_nnz)};
+
+  std::printf("kernel config: f=%d tile=%d BIN=%d solver=%s "
+              "(Netflix-scale update-X)\n\n",
+              config.f, config.tile, config.bin, to_string(config.solver));
+
+  for (const auto& dev : {gpusim::DeviceSpec::kepler_k40(),
+                          gpusim::DeviceSpec::maxwell_titan_x(),
+                          gpusim::DeviceSpec::pascal_p100()}) {
+    const auto occ = hermitian_occupancy(dev, config);
+    const auto times = update_phase_times(dev, shape, config);
+    std::printf("=== %s ===\n", dev.name.c_str());
+    std::printf("  occupancy: %d blocks/SM (%d warps, %.0f%% of max), "
+                "limited by %s\n",
+                occ.blocks_per_sm, occ.warps_per_sm, occ.fraction * 100.0,
+                gpusim::to_string(occ.limited_by));
+    std::printf("  regs/thread=%d threads/block=%d smem/block=%d B\n",
+                gpusim::hermitian_regs_per_thread(config.f, config.tile),
+                gpusim::hermitian_threads_per_block(config.f, config.tile),
+                config.bin * config.f * 4);
+    const auto phase = [](const char* name, const gpusim::KernelTime& t) {
+      std::printf("  %-10s %8.4f s  (bound by %s)\n", name, t.seconds,
+                  t.bound_by);
+    };
+    phase("load", times.load);
+    phase("compute", times.compute);
+    phase("write", times.write);
+    phase("solve", times.solve);
+    std::printf("  update-X total: %.4f s\n\n", times.total_seconds());
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Implicit-feedback recommendation (paper §V-F): clicks/purchases instead of
+// star ratings. Every unobserved (user, item) cell is a low-confidence zero,
+// so the effective matrix is dense — the regime where ALS shines and SGD
+// becomes uncompetitive.
+//
+// The example converts explicit ratings into implicit interactions, trains
+// Hu-Koren-Volinsky ALS, and evaluates ranking quality with an AUC probe.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/implicit_als.hpp"
+#include "data/generator.hpp"
+#include "data/implicit.hpp"
+#include "sparse/csr.hpp"
+
+int main() {
+  using namespace cumf;
+
+  // Interactions: keep ratings ≥ 4 as "the user actually engaged".
+  SyntheticConfig config;
+  config.m = 1500;
+  config.n = 400;
+  config.nnz = 45'000;
+  config.mean = 3.6;
+  config.seed = 99;
+  const auto explicit_data = generate_synthetic(config);
+  const ImplicitDataset implicit =
+      to_implicit(explicit_data.ratings, 4.0f, /*alpha=*/40.0);
+  std::printf("kept %llu of %llu entries as implicit interactions\n",
+              static_cast<unsigned long long>(implicit.interactions.nnz()),
+              static_cast<unsigned long long>(explicit_data.ratings.nnz()));
+
+  ImplicitAlsOptions options;
+  options.f = 24;
+  options.lambda = 0.05f;
+  options.solver.kind = SolverKind::CgFp32;  // paper's approximate solver
+  options.solver.cg_fs = 6;
+  ImplicitAlsEngine engine(implicit, options);
+
+  Rng rng(3);
+  std::printf("epoch  AUC(observed beats random)\n");
+  for (int epoch = 1; epoch <= 6; ++epoch) {
+    engine.run_epoch();
+    int wins = 0;
+    int trials = 0;
+    for (const Rating& e : implicit.interactions.entries()) {
+      if (trials >= 3000) {
+        break;
+      }
+      const auto random_item = static_cast<index_t>(
+          rng.uniform_index(implicit.interactions.cols()));
+      wins += engine.score(e.u, e.v) > engine.score(e.u, random_item);
+      ++trials;
+    }
+    std::printf("%5d  %.3f\n", epoch,
+                static_cast<double>(wins) / static_cast<double>(trials));
+  }
+
+  // Recommend the 5 strongest unseen items for user 0.
+  const auto seen = CsrMatrix::from_coo(implicit.interactions);
+  const auto rated = seen.row_cols(0);
+  std::vector<std::pair<real_t, index_t>> scored;
+  for (index_t v = 0; v < seen.cols(); ++v) {
+    if (!std::binary_search(rated.begin(), rated.end(), v)) {
+      scored.emplace_back(engine.score(0, v), v);
+    }
+  }
+  std::sort(scored.rbegin(), scored.rend());
+  std::printf("\ntop-5 items for user 0:\n");
+  for (std::size_t i = 0; i < 5 && i < scored.size(); ++i) {
+    std::printf("  item %4u   score %.3f\n", scored[i].second,
+                scored[i].first);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Online recommendation service (paper §VII future work): ALS for the
+// initial batch training, SGD for incremental updates as new ratings
+// stream in, with periodic re-batching once the stream has grown the data
+// enough — plus model persistence between "service restarts".
+#include <cstdio>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/hybrid.hpp"
+#include "data/generator.hpp"
+#include "data/model_io.hpp"
+#include "metrics/rmse.hpp"
+#include "sparse/split.hpp"
+
+int main() {
+  using namespace cumf;
+
+  // Yesterday's ratings: the batch.
+  SyntheticConfig config;
+  config.m = 1200;
+  config.n = 200;
+  config.nnz = 36'000;
+  config.seed = 2026;
+  const auto data = generate_synthetic(config);
+  Rng rng(4);
+  const auto split = split_holdout(data.ratings, 0.15, rng);
+
+  HybridOptions options;
+  options.als.f = 24;
+  options.als.lambda = 0.05f;
+  options.als.solver.kind = SolverKind::CgFp16;  // paper's fast solver
+  options.batch_epochs = 8;
+  options.rebatch_threshold = 0.10;
+  HybridEngine service(split.train, options);
+  std::printf("batch phase done: test RMSE %.4f\n",
+              rmse(split.test, service.user_factors(),
+                   service.item_factors()));
+
+  // Today's traffic: the held-out ratings arrive one by one.
+  int absorbed = 0;
+  for (const Rating& e : split.test.entries()) {
+    service.observe(e);
+    ++absorbed;
+    if (absorbed % 2000 == 0) {
+      std::printf("  %5d ratings streamed, RMSE on stream %.4f, "
+                  "rebatch recommended: %s\n",
+                  absorbed,
+                  rmse(split.test, service.user_factors(),
+                       service.item_factors()),
+                  service.rebatch_recommended() ? "yes" : "no");
+    }
+  }
+
+  if (service.rebatch_recommended()) {
+    std::printf("stream grew the data by >%.0f%% — running a re-batch\n",
+                options.rebatch_threshold * 100);
+    service.rebatch();
+    std::printf("after re-batch: RMSE on stream %.4f (batch phases: %d)\n",
+                rmse(split.test, service.user_factors(),
+                     service.item_factors()),
+                service.batch_phases_run());
+  }
+
+  // Persist the model for the next service start.
+  const std::string path = "/tmp/cumf_online_model.txt";
+  write_model_file(path,
+                   FactorModel{service.user_factors(),
+                               service.item_factors()});
+  const auto restored = read_model_file(path);
+  std::printf("model saved and restored: %zux%zu user factors, %zux%zu item "
+              "factors\n",
+              restored.x.rows(), restored.x.cols(), restored.theta.rows(),
+              restored.theta.cols());
+  return 0;
+}

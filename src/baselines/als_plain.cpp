@@ -1,0 +1,36 @@
+#include "baselines/als_plain.hpp"
+
+namespace cumf {
+
+AlsKernelConfig cumfals_kernel_config(int f, SolverKind solver,
+                                      std::uint32_t fs) {
+  AlsKernelConfig c;
+  c.f = f;
+  c.tile = pick_tile(static_cast<std::size_t>(f), 10);
+  c.bin = 32;
+  c.load_scheme = LoadScheme::NonCoalescedL1;
+  c.solver = solver;
+  c.cg_fs = fs;
+  c.register_tiling = true;
+  return c;
+}
+
+GpuAlsBaseline make_gpu_als_baseline(const RatingsCoo& train, std::size_t f,
+                                     real_t lambda, std::uint64_t seed) {
+  AlsOptions options;
+  options.f = f;
+  options.lambda = lambda;
+  options.solver.kind = SolverKind::LuFp32;
+  options.tiled_hermitian = false;  // functional mirror of "no tiling"
+  options.seed = seed;
+
+  GpuAlsBaseline out;
+  out.engine = std::make_unique<AlsEngine>(train, options);
+  out.kernel_config = cumfals_kernel_config(static_cast<int>(f),
+                                            SolverKind::LuFp32, 6);
+  out.kernel_config.load_scheme = LoadScheme::Coalesced;
+  out.kernel_config.register_tiling = false;
+  return out;
+}
+
+}  // namespace cumf

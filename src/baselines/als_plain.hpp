@@ -1,0 +1,33 @@
+// GPU-ALS — the paper's prior state of the art ([31], HPDC'16), used as the
+// "before" line in Fig. 1 and Fig. 6 / Table IV.
+//
+// Algorithmically identical ALS, but with none of this paper's contributions:
+// exact batched LU solve (no approximate CG, no FP16), coalesced loads, and
+// no aggressive register tiling. The factory returns a configured AlsEngine
+// (so convergence is genuinely computed) together with the kernel
+// configuration the cost model uses to charge its slower epochs.
+#pragma once
+
+#include <memory>
+
+#include "core/als.hpp"
+#include "core/kernel_stats.hpp"
+#include "sparse/coo.hpp"
+
+namespace cumf {
+
+struct GpuAlsBaseline {
+  std::unique_ptr<AlsEngine> engine;
+  AlsKernelConfig kernel_config;  ///< coalesced, LU, no register tiling
+};
+
+/// cuMF-ALS (this paper): tiled hermitian + non-coalesced L1 loads +
+/// truncated CG (optionally FP16).
+AlsKernelConfig cumfals_kernel_config(int f, SolverKind solver,
+                                      std::uint32_t fs = 6);
+
+/// GPU-ALS [31]: the same f/λ but the unoptimized kernel configuration.
+GpuAlsBaseline make_gpu_als_baseline(const RatingsCoo& train, std::size_t f,
+                                     real_t lambda, std::uint64_t seed = 1);
+
+}  // namespace cumf

@@ -1,0 +1,61 @@
+// CCD++ — cyclic coordinate descent MF (Yu et al., ICDM'12; paper §VI-B).
+//
+// Instead of solving whole f-dimensional rows (ALS) or stepping on single
+// samples (SGD), CCD++ sweeps one latent dimension at a time: for each k it
+// alternates closed-form rank-1 updates of X's and Θ's k-th columns against
+// a maintained residual matrix. Lower per-update cost than ALS, but less
+// progress per epoch — the trade-off Table V summarizes.
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "linalg/dense.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace cumf {
+
+struct CcdOptions {
+  std::size_t f = 40;
+  real_t lambda = 0.05f;
+  int inner_iters = 1;  ///< rank-1 refinement passes per dimension (T)
+  std::uint64_t seed = 1;
+};
+
+class CcdEngine {
+ public:
+  CcdEngine(const RatingsCoo& train, const CcdOptions& options);
+
+  /// One epoch = one sweep over all f dimensions.
+  void run_epoch();
+
+  int epochs_run() const noexcept { return epochs_; }
+  const Matrix& user_factors() const noexcept { return x_; }
+  const Matrix& item_factors() const noexcept { return theta_; }
+
+  /// Maintained residual r_uv − x_uᵀθ_v for every training non-zero, in CSR
+  /// order; tests verify it stays consistent with the factors.
+  const std::vector<real_t>& residuals() const noexcept { return res_; }
+  const CsrMatrix& ratings() const noexcept { return r_; }
+
+ private:
+  void update_dimension(std::size_t k);
+
+  CcdOptions options_;
+  CsrMatrix r_;             ///< train ratings (row view)
+  CsrMatrix rt_;            ///< column view
+  std::vector<nnz_t> rt_to_r_;  ///< position in rt_ → position in r_
+  Matrix x_;
+  Matrix theta_;
+  std::vector<real_t> res_;  ///< residuals in r_ (CSR) order
+  int epochs_ = 0;
+};
+
+/// Device-time model for parallel CCD++ on a GPU (Nisa et al.,
+/// GPGPU@PPoPP'17 — reference [20], Table V). With loop fusion and tiling
+/// the kernel is memory-bound on the residual array, which every one of the
+/// f rank-1 sweeps reads and writes; [20] reports it faster than GPU-ALS
+/// [31] but it remains slower than cuMF-ALS (§VI-B).
+double ccd_gpu_epoch_seconds(const gpusim::DeviceSpec& dev, double nnz,
+                             int f);
+
+}  // namespace cumf

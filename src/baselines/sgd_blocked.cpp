@@ -1,0 +1,62 @@
+#include "baselines/sgd_blocked.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cumf {
+
+namespace {
+index_t grid_dim(const RatingsCoo& train, int workers) {
+  CUMF_EXPECTS(workers >= 1, "need at least one worker");
+  // LIBMF uses more blocks than workers to reduce scheduler contention;
+  // a square grid of exactly `workers` per side is the DSGD layout and is
+  // all we need for correctness and the schedule invariant.
+  const auto cap = std::min(train.rows(), train.cols());
+  return std::min<index_t>(static_cast<index_t>(workers), cap);
+}
+}  // namespace
+
+BlockedSgd::BlockedSgd(const RatingsCoo& train, const SgdOptions& options)
+    : options_(options),
+      grid_(train, grid_dim(train, options.workers),
+            grid_dim(train, options.workers)),
+      model_(make_sgd_model(train.rows(), train.cols(), options,
+                            train.mean_value())),
+      pool_(static_cast<std::size_t>(options.workers)) {
+  CUMF_EXPECTS(train.nnz() > 0, "cannot train on an empty matrix");
+}
+
+void BlockedSgd::run_epoch() {
+  const real_t alpha = sgd_alpha(options_, epochs_);
+  const auto schedule = grid_.diagonal_schedule();
+
+  for (std::size_t round = 0; round < schedule.size(); ++round) {
+    const auto& blocks = schedule[round];
+    // Blocks within a round have disjoint row/col ranges: safe in parallel.
+    pool_.parallel_for(
+        blocks.size(),
+        [&](std::size_t begin, std::size_t end, std::size_t worker) {
+          for (std::size_t b = begin; b < end; ++b) {
+            const auto& entries = grid_.block(blocks[b].i, blocks[b].j);
+            // Shuffle within the block per epoch.
+            std::vector<std::uint32_t> order(entries.size());
+            for (std::size_t i = 0; i < order.size(); ++i) {
+              order[i] = static_cast<std::uint32_t>(i);
+            }
+            Rng rng(options_.seed + 7919ull * (worker + 1) +
+                    31ull * static_cast<std::uint64_t>(epochs_) + b);
+            for (std::size_t i = order.size(); i > 1; --i) {
+              std::swap(order[i - 1], order[rng.uniform_index(i)]);
+            }
+            for (const std::uint32_t idx : order) {
+              sgd_apply(model_, entries[idx], options_, alpha);
+            }
+          }
+        });
+  }
+  ++epochs_;
+}
+
+}  // namespace cumf

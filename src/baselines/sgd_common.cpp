@@ -1,0 +1,38 @@
+#include "baselines/sgd_common.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cumf {
+
+SgdModel make_sgd_model(index_t m, index_t n, const SgdOptions& options,
+                        double rating_mean) {
+  CUMF_EXPECTS(options.f > 0, "latent dimension must be positive");
+  CUMF_EXPECTS(options.lr > 0, "learning rate must be positive");
+  SgdModel model;
+  model.x = Matrix(m, options.f);
+  model.theta = Matrix(n, options.f);
+  if (options.schedule == SgdSchedule::AdaGrad) {
+    model.x_gsq.assign(m, real_t{0});
+    model.theta_gsq.assign(n, real_t{0});
+  }
+  Rng rng(options.seed);
+  // Cold uniform init in [0, sqrt(mean/f)], as the SGD implementations the
+  // paper compares against use (LIBMF-style): the initial prediction sits at
+  // ~mean/4, so SGD must walk up to the rating scale — unlike ALS, whose
+  // first half-sweep already solves the normal equations exactly.
+  const double base = std::sqrt(std::max(0.1, std::abs(rating_mean)) /
+                                static_cast<double>(options.f));
+  for (auto& matrix : {&model.x, &model.theta}) {
+    for (std::size_t i = 0; i < matrix->rows(); ++i) {
+      for (std::size_t k = 0; k < matrix->cols(); ++k) {
+        (*matrix)(i, k) = static_cast<real_t>(base * rng.uniform());
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace cumf

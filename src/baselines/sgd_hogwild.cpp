@@ -1,0 +1,65 @@
+#include "baselines/sgd_hogwild.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cumf {
+
+HogwildSgd::HogwildSgd(const RatingsCoo& train, const SgdOptions& options)
+    : options_(options),
+      train_(train),
+      model_(make_sgd_model(train.rows(), train.cols(), options,
+                            train.mean_value())) {
+  CUMF_EXPECTS(options_.workers >= 1, "need at least one worker");
+  CUMF_EXPECTS(train_.nnz() > 0, "cannot train on an empty matrix");
+}
+
+void HogwildSgd::run_epoch() {
+  const real_t alpha = sgd_alpha(options_, epochs_);
+  const auto& samples = train_.entries();
+
+  const auto shard_pass = [&](std::size_t begin, std::size_t end,
+                              std::uint64_t seed) {
+    // Visit the shard in random order (sampling without replacement via an
+    // index shuffle, as vanilla SGD prescribes).
+    std::vector<std::uint32_t> order(end - begin);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<std::uint32_t>(begin + i);
+    }
+    Rng rng(seed);
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_index(i)]);
+    }
+    for (const std::uint32_t idx : order) {
+      sgd_apply(model_, samples[idx], options_, alpha);
+    }
+  };
+
+  if (options_.workers == 1) {
+    shard_pass(0, samples.size(), options_.seed + static_cast<std::uint64_t>(epochs_));
+  } else {
+    // Racing threads, by design: no locks, no atomics (Hogwild!).
+    std::vector<std::thread> threads;
+    const auto w = static_cast<std::size_t>(options_.workers);
+    const std::size_t chunk = (samples.size() + w - 1) / w;
+    for (std::size_t t = 0; t < w; ++t) {
+      const std::size_t begin = std::min(samples.size(), t * chunk);
+      const std::size_t end = std::min(samples.size(), begin + chunk);
+      if (begin == end) {
+        continue;
+      }
+      threads.emplace_back(shard_pass, begin, end,
+                           options_.seed + 1000003ull * (t + 1) +
+                               static_cast<std::uint64_t>(epochs_));
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+  }
+  ++epochs_;
+}
+
+}  // namespace cumf

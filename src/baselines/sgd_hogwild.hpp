@@ -1,0 +1,34 @@
+// Hogwild! SGD (Niu et al., NIPS'11; paper §VI-A).
+//
+// Workers sample and update concurrently with NO synchronization: when R is
+// sparse and workers ≪ dim(R), conflicting updates to the same factor row
+// are rare enough that convergence survives the races. This is the lock-free
+// branch of Table V and the algorithmic basis of the GPU SGD solution [35].
+#pragma once
+
+#include "baselines/sgd_common.hpp"
+#include "sparse/coo.hpp"
+
+namespace cumf {
+
+class HogwildSgd {
+ public:
+  HogwildSgd(const RatingsCoo& train, const SgdOptions& options);
+
+  /// One pass over all samples. With options.workers > 1 the pass runs on
+  /// that many racing threads (each shuffles its own shard per epoch);
+  /// with workers == 1 it is a deterministic serial pass.
+  void run_epoch();
+
+  int epochs_run() const noexcept { return epochs_; }
+  const Matrix& user_factors() const noexcept { return model_.x; }
+  const Matrix& item_factors() const noexcept { return model_.theta; }
+
+ private:
+  SgdOptions options_;
+  RatingsCoo train_;
+  SgdModel model_;
+  int epochs_ = 0;
+};
+
+}  // namespace cumf

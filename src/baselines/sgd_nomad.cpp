@@ -1,0 +1,103 @@
+#include "baselines/sgd_nomad.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace cumf {
+
+NomadSgd::NomadSgd(const RatingsCoo& train, const SgdOptions& options)
+    : options_(options),
+      n_(train.cols()),
+      model_(make_sgd_model(train.rows(), train.cols(), options,
+                            train.mean_value())) {
+  CUMF_EXPECTS(options_.workers >= 1, "need at least one worker");
+  CUMF_EXPECTS(train.nnz() > 0, "cannot train on an empty matrix");
+
+  const auto w = static_cast<std::size_t>(options_.workers);
+  shard_cols_.assign(w, std::vector<std::vector<Rating>>(n_));
+  const index_t rows_per_shard =
+      (train.rows() + static_cast<index_t>(w) - 1) /
+      static_cast<index_t>(w);
+  for (const Rating& e : train.entries()) {
+    const auto shard = static_cast<std::size_t>(e.u / rows_per_shard);
+    shard_cols_[shard][e.v].push_back(e);
+  }
+}
+
+const std::vector<Rating>& NomadSgd::shard_column(int worker,
+                                                  index_t v) const {
+  CUMF_EXPECTS(worker >= 0 &&
+                   static_cast<std::size_t>(worker) < shard_cols_.size(),
+               "worker out of range");
+  CUMF_EXPECTS(v < n_, "column out of range");
+  return shard_cols_[static_cast<std::size_t>(worker)][v];
+}
+
+void NomadSgd::run_epoch() {
+  const real_t alpha = sgd_alpha(options_, epochs_);
+  const auto w = static_cast<std::size_t>(options_.workers);
+
+  // Token = (column, remaining hops). Per-worker inbox protected by a
+  // mutex — the "message passing" of the MPI implementation.
+  struct Token {
+    index_t column;
+    int hops_left;
+  };
+  struct Inbox {
+    std::mutex mutex;
+    std::deque<Token> queue;
+  };
+  std::vector<Inbox> inboxes(w);
+  std::atomic<std::int64_t> live_tokens{static_cast<std::int64_t>(n_)};
+
+  // Initial distribution: columns dealt round-robin.
+  for (index_t v = 0; v < n_; ++v) {
+    inboxes[v % w].queue.push_back(
+        Token{v, static_cast<int>(w)});
+  }
+
+  const auto worker_loop = [&](std::size_t me) {
+    while (live_tokens.load(std::memory_order_acquire) > 0) {
+      Token token{0, 0};
+      {
+        std::lock_guard lock(inboxes[me].mutex);
+        if (inboxes[me].queue.empty()) {
+          std::this_thread::yield();
+          continue;
+        }
+        token = inboxes[me].queue.front();
+        inboxes[me].queue.pop_front();
+      }
+      // θ_(token.column) is exclusively ours while we hold the token.
+      for (const Rating& e : shard_cols_[me][token.column]) {
+        sgd_apply(model_, e, options_, alpha);
+      }
+      if (--token.hops_left > 0) {
+        const std::size_t next = (me + 1) % w;
+        std::lock_guard lock(inboxes[next].mutex);
+        inboxes[next].queue.push_back(token);
+      } else {
+        live_tokens.fetch_sub(1, std::memory_order_release);
+      }
+    }
+  };
+
+  if (w == 1) {
+    worker_loop(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      threads.emplace_back(worker_loop, i);
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+  }
+  ++epochs_;
+}
+
+}  // namespace cumf

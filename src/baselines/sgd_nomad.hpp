@@ -1,0 +1,43 @@
+// NOMAD-style asynchronous SGD (Yun et al., VLDB'14; paper §VI-A).
+//
+// Rows are partitioned across workers; item columns circulate as tokens on a
+// ring. A worker holding the token for column v updates every rating (u, v)
+// with u in its row shard, then forwards the token — no global locking, and
+// each factor column is owned by exactly one worker at a time, so updates to
+// θ_v never race (the property NOMAD is built on). One epoch = every token
+// completes a full circle.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "baselines/sgd_common.hpp"
+#include "sparse/coo.hpp"
+
+namespace cumf {
+
+class NomadSgd {
+ public:
+  NomadSgd(const RatingsCoo& train, const SgdOptions& options);
+
+  /// Runs one full token circulation on options.workers threads.
+  void run_epoch();
+
+  int epochs_run() const noexcept { return epochs_; }
+  const Matrix& user_factors() const noexcept { return model_.x; }
+  const Matrix& item_factors() const noexcept { return model_.theta; }
+
+  /// Ratings of column v within worker w's row shard (exposed for tests).
+  const std::vector<Rating>& shard_column(int worker, index_t v) const;
+
+ private:
+  SgdOptions options_;
+  index_t n_ = 0;
+  SgdModel model_;
+  /// shard_cols_[w][v]: the (u, v, r) entries worker w owns for column v.
+  std::vector<std::vector<std::vector<Rating>>> shard_cols_;
+  int epochs_ = 0;
+};
+
+}  // namespace cumf

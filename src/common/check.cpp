@@ -1,0 +1,17 @@
+#include "common/check.hpp"
+
+#include <sstream>
+
+namespace cumf::detail {
+
+void check_failed(const char* kind, const char* expr, const char* file,
+                  int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace cumf::detail

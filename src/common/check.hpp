@@ -1,0 +1,41 @@
+// Precondition / invariant checking in the spirit of the C++ Core Guidelines
+// Expects()/Ensures(). Violations throw cumf::CheckError so tests can assert
+// on failure behaviour instead of aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cumf {
+
+/// Thrown when a CUMF_CHECK / Expects-style contract is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace cumf
+
+/// Precondition check: validates arguments at public API boundaries.
+#define CUMF_EXPECTS(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::cumf::detail::check_failed("Precondition", #cond, __FILE__,      \
+                                   __LINE__, (msg));                     \
+    }                                                                    \
+  } while (false)
+
+/// Internal invariant check: conditions the implementation must uphold.
+#define CUMF_ENSURES(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::cumf::detail::check_failed("Invariant", #cond, __FILE__,         \
+                                   __LINE__, (msg));                     \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,3 @@
+// Intentionally empty: Stopwatch is header-only, but the translation unit
+// keeps the build graph uniform (one .cpp per public header in common/).
+#include "common/stopwatch.hpp"

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the CPU-side benchmark harness.
+//
+// Simulated GPU time lives elsewhere (gpusim::SimClock); this class measures
+// real host time for the parts of the evaluation that run natively.
+#pragma once
+
+#include <chrono>
+
+namespace cumf {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept { reset(); }
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace cumf

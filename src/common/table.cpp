@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace cumf {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  CUMF_EXPECTS(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  CUMF_EXPECTS(row.size() == header_.size(),
+               "row arity must match the header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::left
+         << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) {
+    total += w;
+  }
+  total += 2 * (widths.size() - 1);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return os.str();
+}
+
+std::string Table::num(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+}  // namespace cumf

@@ -1,0 +1,33 @@
+// Plain-text table formatting for benchmark output.
+//
+// Every bench binary prints the same rows/series as the paper's tables and
+// figures; this helper renders aligned columns so the output is directly
+// comparable to the publication.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cumf {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment and a header rule.
+  std::string to_string() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Format a double with `digits` significant decimals.
+  static std::string num(double v, int digits = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cumf

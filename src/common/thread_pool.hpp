@@ -1,0 +1,56 @@
+// A minimal fixed-size thread pool with a parallel_for primitive.
+//
+// The CPU baselines (LIBMF-style blocked SGD, NOMAD-style asynchronous SGD,
+// Hogwild) are genuinely multi-threaded algorithms; this pool gives them a
+// shared-memory substrate. The pool also backs the functional execution of
+// "GPU" kernels: thread-blocks of the simulated device map onto pool tasks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cumf {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task. Tasks must not throw; exceptions terminate the program
+  /// (matching the behaviour of an unhandled exception on a device).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Statically partition [0, n) into `size()` contiguous chunks and run
+  /// `body(begin, end, worker)` on each. Blocks until all chunks complete.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t begin,
+                                             std::size_t end,
+                                             std::size_t worker)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace cumf

@@ -1,0 +1,19 @@
+// Fundamental scalar and index types shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cumf {
+
+/// Row/column index into a rating matrix. 32 bits covers the paper's largest
+/// dataset dimension (Hugewiki: m = 50,082,603).
+using index_t = std::uint32_t;
+
+/// Count of non-zero entries. Hugewiki has 3.1e9 non-zeros, so 64 bits.
+using nnz_t = std::uint64_t;
+
+/// Default working precision for factor matrices (the paper's FP32).
+using real_t = float;
+
+}  // namespace cumf

@@ -1,0 +1,153 @@
+#include "core/als.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cumf {
+
+int pick_tile(std::size_t f, int requested) {
+  CUMF_EXPECTS(f > 0, "latent dimension must be positive");
+  CUMF_EXPECTS(requested > 0, "tile must be positive");
+  for (int t = std::min<int>(requested, static_cast<int>(f)); t > 1; --t) {
+    if (f % static_cast<std::size_t>(t) == 0) {
+      return t;
+    }
+  }
+  return 1;
+}
+
+/// Initializes factors so that x·θ starts near the global rating mean:
+/// entries are sqrt(mean/f) with ±10% noise (the standard ALS warm start;
+/// a zero init would make the first update-X see Θ = 0 and stall).
+void als_init_factors(Matrix& factors, double mean, std::uint64_t seed) {
+  Rng rng(seed);
+  const double base =
+      std::sqrt(std::max(0.1, std::abs(mean)) /
+                static_cast<double>(factors.cols()));
+  for (std::size_t i = 0; i < factors.rows(); ++i) {
+    for (std::size_t k = 0; k < factors.cols(); ++k) {
+      factors(i, k) = static_cast<real_t>(base * (1.0 + 0.1 * rng.normal()));
+    }
+  }
+}
+
+AlsEngine::AlsEngine(const RatingsCoo& train, const AlsOptions& options)
+    : options_(options) {
+  CUMF_EXPECTS(options_.f > 0, "latent dimension must be positive");
+  CUMF_EXPECTS(options_.lambda > 0, "ALS-WR needs lambda > 0");
+  CUMF_EXPECTS(options_.workers >= 1, "need at least one worker");
+
+  RatingsCoo canonical = train;
+  canonical.sort_and_dedup();
+  for (const Rating& e : canonical.entries()) {
+    CUMF_EXPECTS(std::isfinite(e.r), "ratings must be finite");
+  }
+  r_ = CsrMatrix::from_coo(canonical);
+  rt_ = r_.transposed();
+
+  options_.hermitian.tile = pick_tile(options_.f, options_.hermitian.tile);
+
+  x_ = Matrix(r_.rows(), options_.f);
+  theta_ = Matrix(r_.cols(), options_.f);
+  const double mean = canonical.mean_value();
+  als_init_factors(x_, mean, options_.seed);
+  als_init_factors(theta_, mean, options_.seed + 1);
+
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back(options_.f, options_.solver);
+  }
+  if (options_.workers > 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(options_.workers));
+  }
+}
+
+void AlsEngine::update_rows(const CsrMatrix& ratings, const Matrix& fixed,
+                            Matrix& solved, index_t begin, index_t end,
+                            WorkerContext& ctx) {
+  const std::size_t f = options_.f;
+  for (index_t u = begin; u < end; ++u) {
+    const index_t nnz_u = ratings.row_nnz(u);
+    if (nnz_u == 0) {
+      continue;  // unobserved row: keep the previous factor
+    }
+    if (options_.tiled_hermitian) {
+      get_hermitian_row(ratings, fixed, u, options_.lambda,
+                        options_.hermitian, ctx.ws, ctx.a_scratch,
+                        ctx.b_scratch);
+    } else {
+      get_hermitian_row_reference(ratings, fixed, u, options_.lambda,
+                                  ctx.a_scratch, ctx.b_scratch);
+    }
+    ctx.herm_ops.flops += static_cast<double>(nnz_u) * (f * f + 2.0 * f);
+    ctx.herm_ops.bytes_read += static_cast<double>(nnz_u) * (f * 4.0 + 8.0);
+    ctx.herm_ops.bytes_written += static_cast<double>(f) * f * 4.0;
+
+    const bool ok =
+        ctx.solver.solve(ctx.a_scratch, ctx.b_scratch, solved.row(u));
+    CUMF_ENSURES(ok, "ALS system unsolvable despite ridge regularization");
+    const double ff = static_cast<double>(f);
+    if (options_.solver.kind == SolverKind::CgFp32 ||
+        options_.solver.kind == SolverKind::PcgFp32 ||
+        options_.solver.kind == SolverKind::CgFp16) {
+      const double bytes_per_elem =
+          options_.solver.kind == SolverKind::CgFp16 ? 2.0 : 4.0;
+      const double fs = options_.solver.cg_fs;
+      ctx.solve_ops.flops += fs * (2.0 * ff * ff + 10.0 * ff);
+      ctx.solve_ops.bytes_read += fs * ff * ff * bytes_per_elem;
+    } else {
+      ctx.solve_ops.flops += (2.0 / 3.0) * ff * ff * ff;
+      ctx.solve_ops.bytes_read += ff * ff * 4.0;
+    }
+    ctx.solve_ops.bytes_written += ff * 4.0;
+  }
+}
+
+void AlsEngine::update_side(const CsrMatrix& ratings, const Matrix& fixed,
+                            Matrix& solved) {
+  if (pool_ == nullptr) {
+    update_rows(ratings, fixed, solved, 0, ratings.rows(), workers_[0]);
+    return;
+  }
+  // Rows are independent: static partition, one context per worker. No row
+  // is touched by two workers, and `fixed` is read-only during the sweep.
+  pool_->parallel_for(
+      ratings.rows(),
+      [&](std::size_t begin, std::size_t end, std::size_t worker) {
+        update_rows(ratings, fixed, solved, static_cast<index_t>(begin),
+                    static_cast<index_t>(end), workers_[worker]);
+      });
+}
+
+void AlsEngine::run_epoch() {
+  // Measured per-epoch counters: reset so callers always see "last epoch".
+  for (WorkerContext& ctx : workers_) {
+    ctx.herm_ops = OpCounts{};
+    ctx.solve_ops = OpCounts{};
+  }
+  update_side(r_, theta_, x_);
+  update_side(rt_, x_, theta_);
+  herm_ops_ = OpCounts{};
+  solve_ops_ = OpCounts{};
+  for (const WorkerContext& ctx : workers_) {
+    herm_ops_ += ctx.herm_ops;
+    solve_ops_ += ctx.solve_ops;
+  }
+  ++epochs_;
+}
+
+SolveStats AlsEngine::solve_stats() const noexcept {
+  SolveStats total;
+  for (const WorkerContext& ctx : workers_) {
+    total.systems += ctx.solver.stats().systems;
+    total.cg_iterations += ctx.solver.stats().cg_iterations;
+    total.failures += ctx.solver.stats().failures;
+  }
+  return total;
+}
+
+}  // namespace cumf

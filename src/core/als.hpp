@@ -1,0 +1,107 @@
+// AlsEngine — the cuMF-ALS training loop (functional execution).
+//
+// One epoch is the paper's two half-sweeps: update every x_u with Θ fixed
+// (eq. 2), then every θ_v with X fixed (eq. 3). Each half-sweep runs
+// get_hermitian/get_bias followed by the configured solver. The engine
+// performs the real numerics on the host; simulated device time for these
+// kernels is produced separately by core/kernel_stats.hpp against a
+// DeviceSpec, so convergence benches can plot true RMSE against modelled
+// GPU seconds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/thread_pool.hpp"
+#include "core/hermitian.hpp"
+#include "core/solver.hpp"
+#include "linalg/dense.hpp"
+#include "metrics/roofline.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace cumf {
+
+struct AlsOptions {
+  std::size_t f = 40;         ///< latent dimension
+  real_t lambda = 0.05f;      ///< ALS-WR regularization (λ·n_u on diagonal)
+  SolverOptions solver;       ///< exact or approximate `solve` step
+  HermitianParams hermitian;  ///< tile/BIN of the memory-optimized kernel
+  bool tiled_hermitian = true;  ///< false → naive reference kernel (ablation)
+  /// Host threads updating rows concurrently. Row updates are independent
+  /// (§II), so any worker count produces the same factors as the serial run
+  /// up to floating-point associativity — and exactly the same here, since
+  /// each row's arithmetic is self-contained.
+  int workers = 1;
+  std::uint64_t seed = 1;
+};
+
+class AlsEngine {
+ public:
+  AlsEngine(const RatingsCoo& train, const AlsOptions& options);
+
+  /// Runs one full epoch (update-X then update-Θ).
+  void run_epoch();
+
+  int epochs_run() const noexcept { return epochs_; }
+  std::size_t f() const noexcept { return options_.f; }
+  const AlsOptions& options() const noexcept { return options_; }
+
+  const Matrix& user_factors() const noexcept { return x_; }
+  const Matrix& item_factors() const noexcept { return theta_; }
+
+  const CsrMatrix& ratings_by_row() const noexcept { return r_; }
+  const CsrMatrix& ratings_by_col() const noexcept { return rt_; }
+
+  /// Solver behaviour accumulated since construction across all workers
+  /// (CG iteration counts feed the cost model; failures stay 0 for λ > 0).
+  SolveStats solve_stats() const noexcept;
+
+  /// Operations actually performed per epoch (measured, not analytic).
+  const OpCounts& hermitian_ops_per_epoch() const noexcept {
+    return herm_ops_;
+  }
+  const OpCounts& solve_ops_per_epoch() const noexcept { return solve_ops_; }
+
+ private:
+  void update_side(const CsrMatrix& ratings, const Matrix& fixed,
+                   Matrix& solved);
+
+  /// Everything one worker needs to update a row without touching shared
+  /// mutable state: the device analogue is a thread-block's scratch.
+  struct WorkerContext {
+    explicit WorkerContext(std::size_t f, const SolverOptions& options)
+        : solver(f, options), a_scratch(f * f), b_scratch(f) {}
+    SystemSolver solver;
+    HermitianWorkspace ws;
+    std::vector<real_t> a_scratch;
+    std::vector<real_t> b_scratch;
+    OpCounts herm_ops;
+    OpCounts solve_ops;
+  };
+
+  void update_rows(const CsrMatrix& ratings, const Matrix& fixed,
+                   Matrix& solved, index_t begin, index_t end,
+                   WorkerContext& ctx);
+
+  AlsOptions options_;
+  CsrMatrix r_;   ///< train ratings, row-major (update-X view)
+  CsrMatrix rt_;  ///< transpose (update-Θ view)
+  Matrix x_;      ///< m×f user factors
+  Matrix theta_;  ///< n×f item factors
+  std::vector<WorkerContext> workers_;
+  std::unique_ptr<ThreadPool> pool_;  ///< only when options_.workers > 1
+  int epochs_ = 0;
+  OpCounts herm_ops_;
+  OpCounts solve_ops_;
+};
+
+/// Largest tile size ≤ `requested` that divides f (so any f works with the
+/// paper's default tile of 10).
+int pick_tile(std::size_t f, int requested);
+
+/// Shared warm start: entries near sqrt(mean/f) so x·θ begins at the global
+/// rating mean. Used by both the single- and multi-GPU engines.
+void als_init_factors(Matrix& factors, double mean, std::uint64_t seed);
+
+}  // namespace cumf

@@ -1,0 +1,44 @@
+#include "core/batched_solve.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace cumf {
+
+SolveStats solve_batched(std::size_t batch, std::size_t f,
+                         std::span<const real_t> a,
+                         std::span<const real_t> b, std::span<real_t> x,
+                         const SolverOptions& options, ThreadPool* pool) {
+  CUMF_EXPECTS(a.size() == batch * f * f, "solve_batched: A batch shape");
+  CUMF_EXPECTS(b.size() == batch * f, "solve_batched: b batch shape");
+  CUMF_EXPECTS(x.size() == batch * f, "solve_batched: x batch shape");
+
+  if (pool == nullptr || batch < 2) {
+    SystemSolver solver(f, options);
+    for (std::size_t i = 0; i < batch; ++i) {
+      (void)solver.solve(a.subspan(i * f * f, f * f), b.subspan(i * f, f),
+                         x.subspan(i * f, f));
+    }
+    return solver.stats();
+  }
+
+  SolveStats total;
+  std::mutex merge_mutex;
+  pool->parallel_for(batch, [&](std::size_t begin, std::size_t end,
+                                std::size_t) {
+    SystemSolver solver(f, options);  // worker-local scratch
+    for (std::size_t i = begin; i < end; ++i) {
+      (void)solver.solve(a.subspan(i * f * f, f * f), b.subspan(i * f, f),
+                         x.subspan(i * f, f));
+    }
+    const std::lock_guard lock(merge_mutex);
+    total.systems += solver.stats().systems;
+    total.cg_iterations += solver.stats().cg_iterations;
+    total.failures += solver.stats().failures;
+  });
+  return total;
+}
+
+}  // namespace cumf

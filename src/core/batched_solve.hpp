@@ -1,0 +1,23 @@
+// Batched linear-system solving — the host-side analogue of the cuBLAS
+// batched LU path and the paper's batch-CG solve kernel.
+//
+// Systems are independent, so the optional thread-pool execution is exactly
+// equivalent to the serial loop. `x` carries warm starts for CG solvers and
+// receives the solutions; a failed (singular) exact solve leaves its x
+// untouched and is counted in the returned statistics.
+#pragma once
+
+#include <span>
+
+#include "common/thread_pool.hpp"
+#include "core/solver.hpp"
+
+namespace cumf {
+
+SolveStats solve_batched(std::size_t batch, std::size_t f,
+                         std::span<const real_t> a,
+                         std::span<const real_t> b, std::span<real_t> x,
+                         const SolverOptions& options,
+                         ThreadPool* pool = nullptr);
+
+}  // namespace cumf

@@ -1,0 +1,118 @@
+#include "core/hermitian.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "half/half.hpp"
+
+namespace cumf {
+
+void get_hermitian_row(const CsrMatrix& r, const Matrix& theta, index_t u,
+                       real_t lambda, const HermitianParams& params,
+                       HermitianWorkspace& ws, std::span<real_t> a_out,
+                       std::span<real_t> b_out) {
+  const std::size_t f = theta.cols();
+  CUMF_EXPECTS(params.tile > 0 && f % static_cast<std::size_t>(params.tile) == 0,
+               "f must be a multiple of the tile size");
+  CUMF_EXPECTS(params.bin > 0, "BIN must be positive");
+  CUMF_EXPECTS(a_out.size() == f * f, "A_u must be f*f");
+  CUMF_EXPECTS(b_out.size() == f, "b_u must be length f");
+
+  const auto tile = static_cast<std::size_t>(params.tile);
+  const auto bin = static_cast<std::size_t>(params.bin);
+  const std::size_t nt = f / tile;  // tiles per dimension
+
+  std::fill(a_out.begin(), a_out.end(), real_t{0});
+  std::fill(b_out.begin(), b_out.end(), real_t{0});
+  ws.staged.resize(bin * f);
+
+  const auto cols = r.row_cols(u);
+  const auto vals = r.row_vals(u);
+
+  for (std::size_t batch = 0; batch < cols.size(); batch += bin) {
+    const std::size_t batch_len = std::min(bin, cols.size() - batch);
+
+    // Stage the batch's θ columns from "global" into "shared" memory,
+    // optionally rounding through FP16 (Tensor-Core input precision).
+    for (std::size_t s = 0; s < batch_len; ++s) {
+      const auto trow = theta.row(cols[batch + s]);
+      if (params.fp16_staging) {
+        for (std::size_t i = 0; i < f; ++i) {
+          ws.staged[s * f + i] = static_cast<real_t>(half(trow[i]));
+        }
+      } else {
+        std::copy(trow.begin(), trow.end(), ws.staged.begin() + s * f);
+      }
+    }
+
+    // Accumulate: one "thread" per lower-triangular tile pair (x ≤ y);
+    // its T×T register block adds θ^(y) ⊗ θ^(x) for every staged column.
+    for (std::size_t y = 0; y < nt; ++y) {
+      for (std::size_t x = 0; x <= y; ++x) {
+        real_t* block = a_out.data() + (y * tile) * f + (x * tile);
+        for (std::size_t s = 0; s < batch_len; ++s) {
+          const real_t* frag_x = ws.staged.data() + s * f + x * tile;
+          const real_t* frag_y = ws.staged.data() + s * f + y * tile;
+          for (std::size_t i = 0; i < tile; ++i) {
+            const real_t yi = frag_y[i];
+            for (std::size_t j = 0; j < tile; ++j) {
+              block[i * f + j] += yi * frag_x[j];
+            }
+          }
+        }
+      }
+    }
+
+    // get_bias accumulation alongside (b_u += r_uv · θ_v).
+    for (std::size_t s = 0; s < batch_len; ++s) {
+      const real_t ruv = vals[batch + s];
+      const real_t* col = ws.staged.data() + s * f;
+      for (std::size_t i = 0; i < f; ++i) {
+        b_out[i] += ruv * col[i];
+      }
+    }
+  }
+
+  // Mirror the strictly-lower tiles to the upper triangle (block30' in
+  // Fig. 2) — done at flush time on the GPU, done here after accumulation.
+  for (std::size_t i = 0; i < f; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      a_out[j * f + i] = a_out[i * f + j];
+    }
+  }
+
+  // λ·n_u ridge on the diagonal (eq. (2)).
+  const real_t ridge = lambda * static_cast<real_t>(cols.size());
+  for (std::size_t i = 0; i < f; ++i) {
+    a_out[i * f + i] += ridge;
+  }
+}
+
+void get_hermitian_row_reference(const CsrMatrix& r, const Matrix& theta,
+                                 index_t u, real_t lambda,
+                                 std::span<real_t> a_out,
+                                 std::span<real_t> b_out) {
+  const std::size_t f = theta.cols();
+  CUMF_EXPECTS(a_out.size() == f * f, "A_u must be f*f");
+  CUMF_EXPECTS(b_out.size() == f, "b_u must be length f");
+  std::fill(a_out.begin(), a_out.end(), real_t{0});
+  std::fill(b_out.begin(), b_out.end(), real_t{0});
+
+  const auto cols = r.row_cols(u);
+  const auto vals = r.row_vals(u);
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    const auto t = theta.row(cols[k]);
+    for (std::size_t i = 0; i < f; ++i) {
+      for (std::size_t j = 0; j < f; ++j) {
+        a_out[i * f + j] += t[i] * t[j];
+      }
+      b_out[i] += vals[k] * t[i];
+    }
+  }
+  const real_t ridge = lambda * static_cast<real_t>(cols.size());
+  for (std::size_t i = 0; i < f; ++i) {
+    a_out[i * f + i] += ridge;
+  }
+}
+
+}  // namespace cumf

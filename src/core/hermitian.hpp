@@ -1,0 +1,54 @@
+// get_hermitian — the compute-bound half of an ALS update (paper §III).
+//
+// For every row u with non-zeros {v : r_uv ≠ 0} it forms
+//     A_u = Σ_v θ_v θ_vᵀ + λ n_u I           (f×f, symmetric)
+//     b_u = Σ_v r_uv θ_v                      (the get_bias term)
+//
+// The functional kernel here mirrors the CUDA kernel's structure exactly
+// (Fig. 2): θ columns are staged into a BIN×f "shared memory" buffer in
+// batches; A_u is accumulated tile-by-tile in T×T "register" blocks; only
+// lower-triangular tile pairs (x ≤ y) are computed and the result is
+// mirrored on flush. Mirroring the structure keeps the simulated-GPU
+// resource accounting (registers = T², smem = BIN·f floats) honest, and the
+// unit tests verify it is numerically identical to the naive reference.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "sparse/csr.hpp"
+
+namespace cumf {
+
+struct HermitianParams {
+  int tile = 10;  ///< register tile size T (paper: 10 for f=100)
+  int bin = 32;   ///< θ columns staged per batch (paper: 32)
+  /// Stage θ in FP16 (the paper's §VII Tensor-Core future work): inputs are
+  /// rounded to half precision on the way into shared memory, accumulation
+  /// stays FP32 — exactly the Tensor-Core mixed-precision contract. Halves
+  /// the staging traffic at a bounded (≤2⁻¹¹ relative) input perturbation.
+  bool fp16_staging = false;
+};
+
+/// Reusable scratch for the staged batch; sized on first use.
+struct HermitianWorkspace {
+  std::vector<real_t> staged;  ///< BIN × f "shared memory" buffer
+};
+
+/// Tiled kernel: writes the full symmetric A_u (f×f row-major) into `a_out`
+/// and b_u into `b_out`. λ·n_u is added to the diagonal (ALS-WR weighting,
+/// eq. (2)). Rows with no non-zeros produce A_u = λ·0·I = 0 plus b=0; the
+/// caller decides how to handle them (AlsEngine keeps the old factor).
+void get_hermitian_row(const CsrMatrix& r, const Matrix& theta, index_t u,
+                       real_t lambda, const HermitianParams& params,
+                       HermitianWorkspace& ws, std::span<real_t> a_out,
+                       std::span<real_t> b_out);
+
+/// Naive reference (plain accumulation loops) for differential testing.
+void get_hermitian_row_reference(const CsrMatrix& r, const Matrix& theta,
+                                 index_t u, real_t lambda,
+                                 std::span<real_t> a_out,
+                                 std::span<real_t> b_out);
+
+}  // namespace cumf

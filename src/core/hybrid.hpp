@@ -1,0 +1,63 @@
+// Hybrid ALS + SGD training (paper §VII future work): "using ALS for the
+// initial batch training and SGD for incremental updates of the model."
+//
+// The engine wraps a converged (or converging) factor model. New ratings
+// stream in one at a time; each is absorbed with a handful of SGD steps on
+// just the two affected factor rows — microseconds instead of a full ALS
+// epoch. Periodic re-batching (a full ALS epoch over everything seen so
+// far) keeps long-run quality; the engine tracks when enough new data has
+// arrived to justify one.
+#pragma once
+
+#include <cstdint>
+
+#include "core/als.hpp"
+#include "sparse/coo.hpp"
+
+namespace cumf {
+
+struct HybridOptions {
+  AlsOptions als;           ///< batch-phase configuration
+  int batch_epochs = 8;     ///< ALS epochs for the initial batch training
+  real_t sgd_lr = 0.02f;    ///< learning rate for incremental updates
+  int sgd_steps = 4;        ///< SGD passes applied per observed rating
+  /// A re-batch (full ALS retraining) is recommended once the stream has
+  /// grown the training set by this fraction.
+  double rebatch_threshold = 0.10;
+};
+
+class HybridEngine {
+ public:
+  HybridEngine(const RatingsCoo& batch, const HybridOptions& options);
+
+  /// Absorbs one streamed rating with incremental SGD steps on x_u and θ_v.
+  /// Indices must lie inside the batch matrix's shape (growing the shape is
+  /// a re-batch-level event).
+  void observe(const Rating& rating);
+
+  /// True once the stream has grown the data enough that a fresh batch
+  /// phase is recommended (the caller decides when to afford it).
+  bool rebatch_recommended() const noexcept;
+
+  /// Re-runs batch ALS over the original data plus everything observed.
+  void rebatch();
+
+  const Matrix& user_factors() const noexcept { return x_; }
+  const Matrix& item_factors() const noexcept { return theta_; }
+  real_t predict(index_t u, index_t v) const;
+
+  nnz_t observed_count() const noexcept { return streamed_.nnz(); }
+  int batch_phases_run() const noexcept { return batch_phases_; }
+
+ private:
+  void run_batch();
+
+  HybridOptions options_;
+  RatingsCoo all_;       ///< batch data plus absorbed stream
+  RatingsCoo streamed_;  ///< stream since the last batch phase
+  Matrix x_;             ///< live factors (batch-trained, SGD-refreshed)
+  Matrix theta_;
+  int batch_phases_ = 0;
+};
+
+}  // namespace cumf

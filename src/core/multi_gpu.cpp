@@ -1,0 +1,85 @@
+#include "core/multi_gpu.hpp"
+
+#include "common/check.hpp"
+
+namespace cumf {
+
+std::vector<RowRange> partition_rows(index_t count, int parts) {
+  CUMF_EXPECTS(parts > 0, "need at least one partition");
+  CUMF_EXPECTS(static_cast<index_t>(parts) <= std::max<index_t>(count, 1),
+               "more partitions than rows");
+  std::vector<RowRange> out;
+  out.reserve(static_cast<std::size_t>(parts));
+  const index_t base = count / static_cast<index_t>(parts);
+  const index_t extra = count % static_cast<index_t>(parts);
+  index_t begin = 0;
+  for (index_t p = 0; p < static_cast<index_t>(parts); ++p) {
+    const index_t len = base + (p < extra ? 1 : 0);
+    out.push_back(RowRange{begin, begin + len});
+    begin += len;
+  }
+  CUMF_ENSURES(begin == count, "partition must cover all rows");
+  return out;
+}
+
+MultiGpuAls::MultiGpuAls(const RatingsCoo& train, const AlsOptions& options,
+                         int gpus)
+    : options_(options), solver_(options.f, options.solver) {
+  CUMF_EXPECTS(gpus >= 1, "need at least one GPU");
+
+  RatingsCoo canonical = train;
+  canonical.sort_and_dedup();
+  r_ = CsrMatrix::from_coo(canonical);
+  rt_ = r_.transposed();
+
+  options_.hermitian.tile = pick_tile(options_.f, options_.hermitian.tile);
+
+  x_ = Matrix(r_.rows(), options_.f);
+  theta_ = Matrix(r_.cols(), options_.f);
+  const double mean = canonical.mean_value();
+  als_init_factors(x_, mean, options_.seed);
+  als_init_factors(theta_, mean, options_.seed + 1);
+
+  x_parts_ = partition_rows(r_.rows(), gpus);
+  theta_parts_ = partition_rows(r_.cols(), gpus);
+
+  a_scratch_.resize(options_.f * options_.f);
+  b_scratch_.resize(options_.f);
+}
+
+void MultiGpuAls::update_side(const CsrMatrix& ratings, const Matrix& fixed,
+                              Matrix& solved,
+                              const std::vector<RowRange>& parts) {
+  // Each "device" processes its slice against the same snapshot of `fixed`.
+  // ALS row updates never read other rows of `solved`, so sequential
+  // execution of the slices is functionally identical to concurrent
+  // execution on g devices followed by an all-gather.
+  for (const RowRange& part : parts) {
+    for (index_t u = part.begin; u < part.end; ++u) {
+      if (ratings.row_nnz(u) == 0) {
+        continue;
+      }
+      get_hermitian_row(ratings, fixed, u, options_.lambda,
+                        options_.hermitian, ws_, a_scratch_, b_scratch_);
+      const bool ok = solver_.solve(a_scratch_, b_scratch_, solved.row(u));
+      CUMF_ENSURES(ok, "ALS system unsolvable despite ridge");
+    }
+  }
+}
+
+void MultiGpuAls::run_epoch() {
+  update_side(r_, theta_, x_, x_parts_);
+  update_side(rt_, x_, theta_, theta_parts_);
+  ++epochs_;
+}
+
+double MultiGpuAls::epoch_seconds(const gpusim::DeviceSpec& dev,
+                                  const AlsKernelConfig& config,
+                                  const gpusim::LinkSpec& link) const {
+  return als_epoch_seconds(dev, static_cast<double>(r_.rows()),
+                           static_cast<double>(r_.cols()),
+                           static_cast<double>(r_.nnz()), config, gpus(),
+                           link);
+}
+
+}  // namespace cumf

@@ -1,0 +1,66 @@
+// Multi-GPU ALS (the four-GPU Hugewiki runs of Fig. 6/8).
+//
+// cuMF-ALS partitions the rows of the matrix being updated across devices;
+// each device holds the full fixed factor matrix, computes its row slice,
+// and the updated slices are all-gathered over NVLink before the next
+// half-sweep. Because ALS row updates are independent, the partitioned
+// computation is bit-identical to the single-device one — the functional
+// driver here verifies that invariant while the time model charges per-
+// device compute plus interconnect traffic.
+#pragma once
+
+#include <vector>
+
+#include "core/als.hpp"
+#include "core/kernel_stats.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/interconnect.hpp"
+
+namespace cumf {
+
+/// Near-equal contiguous partition of [0, count) into `parts` ranges.
+struct RowRange {
+  index_t begin = 0;
+  index_t end = 0;
+  index_t size() const noexcept { return end - begin; }
+};
+std::vector<RowRange> partition_rows(index_t count, int parts);
+
+class MultiGpuAls {
+ public:
+  MultiGpuAls(const RatingsCoo& train, const AlsOptions& options, int gpus);
+
+  /// One epoch: every simulated device updates its row slice of X (then of
+  /// Θ) against the shared fixed matrix; slices are concatenated, which is
+  /// the functional equivalent of the NVLink all-gather.
+  void run_epoch();
+
+  int gpus() const noexcept { return static_cast<int>(x_parts_.size()); }
+  const Matrix& user_factors() const noexcept { return x_; }
+  const Matrix& item_factors() const noexcept { return theta_; }
+  int epochs_run() const noexcept { return epochs_; }
+
+  /// Simulated seconds per epoch on `dev` with the given interconnect.
+  double epoch_seconds(const gpusim::DeviceSpec& dev,
+                       const AlsKernelConfig& config,
+                       const gpusim::LinkSpec& link) const;
+
+ private:
+  void update_side(const CsrMatrix& ratings, const Matrix& fixed,
+                   Matrix& solved, const std::vector<RowRange>& parts);
+
+  AlsOptions options_;
+  CsrMatrix r_;
+  CsrMatrix rt_;
+  Matrix x_;
+  Matrix theta_;
+  std::vector<RowRange> x_parts_;      ///< row partition of X across GPUs
+  std::vector<RowRange> theta_parts_;  ///< row partition of Θ across GPUs
+  SystemSolver solver_;
+  HermitianWorkspace ws_;
+  std::vector<real_t> a_scratch_;
+  std::vector<real_t> b_scratch_;
+  int epochs_ = 0;
+};
+
+}  // namespace cumf

@@ -1,0 +1,49 @@
+// Algorithm selection (paper §VII future work): "investigate algorithm
+// selection based on dataset characteristics such as dimensions and
+// sparsity, and hardware resource constraints such as number of GPUs."
+//
+// The selector uses the same cost model as the benches: it estimates the
+// time-to-convergence of cuMF-ALS and GPU-SGD for a dataset shape on a
+// device configuration — modelled per-epoch time × a typical epoch count
+// for each algorithm family (ALS converges in ~10 epochs, SGD in ~30,
+// §V-E) — and picks the faster, with hard overrides where one algorithm is
+// structurally unsuitable (implicit/dense inputs → ALS, Table I's analysis).
+#pragma once
+
+#include <string>
+
+#include "core/kernel_stats.hpp"
+#include "gpusim/device.hpp"
+
+namespace cumf {
+
+enum class Algorithm { Als, Sgd };
+
+const char* to_string(Algorithm algorithm);
+
+struct SelectorInput {
+  double m = 0;
+  double n = 0;
+  double nnz = 0;
+  int f = 100;
+  int gpus = 1;
+  /// Implicit/one-class input: the effective matrix is dense (§V-F).
+  bool implicit_feedback = false;
+};
+
+struct SelectorDecision {
+  Algorithm algorithm = Algorithm::Als;
+  double als_time_estimate = 0;  ///< modelled seconds to convergence
+  double sgd_time_estimate = 0;
+  std::string rationale;
+};
+
+/// Typical epochs-to-convergence used by the estimate (from §V-E: ALS needs
+/// far fewer, SGD's epochs are cheaper).
+inline constexpr int kTypicalAlsEpochs = 10;
+inline constexpr int kTypicalSgdEpochs = 40;
+
+SelectorDecision select_algorithm(const gpusim::DeviceSpec& dev,
+                                  const SelectorInput& input);
+
+}  // namespace cumf

@@ -1,0 +1,102 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+
+namespace cumf {
+
+const char* to_string(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::LuFp32:
+      return "LU-FP32";
+    case SolverKind::CholeskyFp32:
+      return "Cholesky-FP32";
+    case SolverKind::CgFp32:
+      return "CG-FP32";
+    case SolverKind::CgFp16:
+      return "CG-FP16";
+    case SolverKind::PcgFp32:
+      return "PCG-FP32";
+  }
+  return "unknown";
+}
+
+SystemSolver::SystemSolver(std::size_t f, const SolverOptions& options)
+    : f_(f), options_(options) {
+  CUMF_EXPECTS(f_ > 0, "latent dimension must be positive");
+  CUMF_EXPECTS(options_.cg_fs > 0, "CG needs at least one iteration");
+  switch (options_.kind) {
+    case SolverKind::LuFp32:
+      scratch_fp32_.resize(f_ * f_);
+      pivots_.resize(f_);
+      break;
+    case SolverKind::CholeskyFp32:
+      scratch_fp32_.resize(f_ * f_);
+      break;
+    case SolverKind::CgFp32:
+    case SolverKind::PcgFp32:
+      break;  // cg_solve/pcg_solve read A in place
+    case SolverKind::CgFp16:
+      scratch_fp16_.resize(f_ * f_);
+      break;
+  }
+}
+
+bool SystemSolver::solve(std::span<const real_t> a,
+                         std::span<const real_t> b, std::span<real_t> x) {
+  CUMF_EXPECTS(a.size() == f_ * f_, "A must be f*f");
+  CUMF_EXPECTS(b.size() == f_ && x.size() == f_, "vector size mismatch");
+  ++stats_.systems;
+
+  switch (options_.kind) {
+    case SolverKind::LuFp32: {
+      std::copy(a.begin(), a.end(), scratch_fp32_.begin());
+      if (!lu_factor(f_, scratch_fp32_, pivots_)) {
+        ++stats_.failures;
+        return false;
+      }
+      lu_solve(f_, scratch_fp32_, pivots_, b, x);
+      return true;
+    }
+    case SolverKind::CholeskyFp32: {
+      std::copy(a.begin(), a.end(), scratch_fp32_.begin());
+      if (!cholesky_factor(f_, scratch_fp32_)) {
+        ++stats_.failures;
+        return false;
+      }
+      cholesky_solve(f_, scratch_fp32_, b, x);
+      return true;
+    }
+    case SolverKind::CgFp32: {
+      const CgResult r =
+          cg_solve<float>(f_, a, b, x, options_.cg_fs, options_.cg_eps);
+      stats_.cg_iterations += r.iterations;
+      return true;
+    }
+    case SolverKind::PcgFp32: {
+      const CgResult r =
+          pcg_solve<float>(f_, a, b, x, options_.cg_fs, options_.cg_eps);
+      stats_.cg_iterations += r.iterations;
+      return true;
+    }
+    case SolverKind::CgFp16: {
+      // Store A in half precision — the read side of every CG matvec then
+      // moves half the bytes (Solution 4). b and x stay FP32.
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        scratch_fp16_[i] = half(a[i]);
+      }
+      const CgResult r =
+          cg_solve<half>(f_, std::span<const half>(scratch_fp16_), b, x,
+                         options_.cg_fs, options_.cg_eps);
+      stats_.cg_iterations += r.iterations;
+      return true;
+    }
+  }
+  CUMF_ENSURES(false, "unreachable solver kind");
+  return false;
+}
+
+}  // namespace cumf

@@ -1,0 +1,69 @@
+// The `solve` step of ALS: pluggable exact and approximate batch solvers.
+//
+// The paper's progression (Fig. 5): batched LU in FP32 (the cuBLAS baseline,
+// O(f³)) → truncated CG in FP32 (O(fs·f²), 4x faster) → truncated CG with
+// A stored in FP16 (half the memory traffic, another 2x). Cholesky is
+// included as a second exact solver since every A_u is SPD.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/cg.hpp"
+
+namespace cumf {
+
+enum class SolverKind {
+  LuFp32,        ///< exact batched LU (the paper's baseline `solve`)
+  CholeskyFp32,  ///< exact batched Cholesky (SPD-aware exact alternative)
+  CgFp32,        ///< approximate CG, A in FP32 (Solution 3)
+  CgFp16,        ///< approximate CG, A stored in FP16 (Solution 4)
+  PcgFp32,       ///< Jacobi-preconditioned CG (extension beyond the paper)
+};
+
+const char* to_string(SolverKind kind);
+
+/// Truncation / tolerance knobs for the CG variants (Algorithm 1).
+struct SolverOptions {
+  SolverKind kind = SolverKind::CgFp32;
+  std::uint32_t cg_fs = 6;    ///< max CG iterations (paper: 6 for f=100)
+  real_t cg_eps = 1e-4f;      ///< ε tolerance on √(rᵀr)
+};
+
+/// Accumulated behaviour of the solver across a batch of systems.
+struct SolveStats {
+  std::uint64_t systems = 0;
+  std::uint64_t cg_iterations = 0;  ///< total CG steps over all systems
+  std::uint64_t failures = 0;       ///< singular / non-SPD systems skipped
+};
+
+/// Per-call scratch so the hot loop never allocates.
+class SystemSolver {
+ public:
+  explicit SystemSolver(std::size_t f, const SolverOptions& options);
+
+  /// Solves A x = b. `x` carries the warm start for CG (previous epoch's
+  /// factor) and receives the solution. Returns false (and leaves `x`
+  /// untouched) when the system cannot be solved (exact solvers only;
+  /// CG always produces its best iterate).
+  [[nodiscard]] bool solve(std::span<const real_t> a,
+                           std::span<const real_t> b, std::span<real_t> x);
+
+  const SolveStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = SolveStats{}; }
+  const SolverOptions& options() const noexcept { return options_; }
+  std::size_t f() const noexcept { return f_; }
+
+ private:
+  std::size_t f_;
+  SolverOptions options_;
+  SolveStats stats_;
+  std::vector<real_t> scratch_fp32_;
+  std::vector<half> scratch_fp16_;
+  std::vector<index_t> pivots_;
+};
+
+}  // namespace cumf

@@ -1,0 +1,86 @@
+#include "cusim/cusim.hpp"
+
+#include <sstream>
+
+namespace cumf::cusim {
+
+/// Internal accessor for KernelCtx's private shared-memory span.
+class Launcher {
+ public:
+  static void set_shared(KernelCtx& ctx, std::span<std::byte> shared) {
+    ctx.shared_ = shared;
+  }
+};
+
+namespace {
+
+/// Runs one block's threads cooperatively, barrier to barrier.
+void run_block(const LaunchConfig& config, const Kernel& kernel,
+               const Dim3& block_idx, std::span<std::byte> shared) {
+  const unsigned threads = config.block.count();
+  std::vector<ThreadTask> tasks;
+  tasks.reserve(threads);
+  for (unsigned z = 0; z < config.block.z; ++z) {
+    for (unsigned y = 0; y < config.block.y; ++y) {
+      for (unsigned x = 0; x < config.block.x; ++x) {
+        KernelCtx ctx;
+        ctx.gridDim = config.grid;
+        ctx.blockDim = config.block;
+        ctx.blockIdx = block_idx;
+        ctx.threadIdx = Dim3{x, y, z};
+        Launcher::set_shared(ctx, shared);
+        tasks.push_back(kernel(ctx));
+      }
+    }
+  }
+
+  // Drive all threads to the next barrier (or completion) repeatedly.
+  // After each sweep every still-live thread must be parked at a barrier;
+  // if some finished while others wait, the barrier can never be satisfied.
+  for (;;) {
+    unsigned alive = 0;
+    unsigned parked = 0;
+    for (ThreadTask& task : tasks) {
+      if (task.done()) {
+        continue;
+      }
+      task.resume();
+      if (!task.done()) {
+        ++alive;
+        parked += task.at_barrier() ? 1u : 0u;
+      }
+    }
+    if (alive == 0) {
+      return;  // block retired
+    }
+    if (parked != alive || alive != threads) {
+      std::ostringstream os;
+      os << "barrier divergence in block (" << block_idx.x << ','
+         << block_idx.y << ',' << block_idx.z << "): " << parked << " of "
+         << threads << " threads reached __syncthreads()";
+      throw BarrierDivergence(os.str());
+    }
+  }
+}
+
+}  // namespace
+
+void launch(const LaunchConfig& config, const Kernel& kernel) {
+  CUMF_EXPECTS(config.grid.count() > 0, "empty grid");
+  CUMF_EXPECTS(config.block.count() > 0, "empty block");
+  CUMF_EXPECTS(kernel != nullptr, "null kernel");
+
+  std::vector<std::byte> shared(config.shared_bytes);
+  for (unsigned z = 0; z < config.grid.z; ++z) {
+    for (unsigned y = 0; y < config.grid.y; ++y) {
+      for (unsigned x = 0; x < config.grid.x; ++x) {
+        // Shared memory is per-block: reset between blocks so kernels can't
+        // accidentally depend on residue from a previous block.
+        std::fill(shared.begin(), shared.end(), std::byte{0});
+        run_block(config, kernel, Dim3{x, y, z}, shared);
+      }
+    }
+  }
+}
+
+}  // namespace cumf::cusim

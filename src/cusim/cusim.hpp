@@ -1,0 +1,168 @@
+// cusim — a functional SIMT execution layer (CUDA-style kernels on the CPU).
+//
+// The paper's artifact is CUDA code; this machine has no GPU. gpusim models
+// the *timing* of the kernels; cusim preserves their *shape*: kernels are
+// written per-thread against gridDim/blockDim/blockIdx/threadIdx with
+// __syncthreads() barriers and per-block shared memory, then executed
+// functionally. Device threads are C++20 coroutines that suspend at
+// barriers; the executor resumes every thread of a block between barriers,
+// so shared-memory producer/consumer patterns behave exactly as on the GPU.
+// Barrier divergence — some threads of a block reaching __syncthreads()
+// while others exit — is undefined behaviour in CUDA; here it throws, which
+// turns a silent GPU bug class into a test failure.
+//
+// The cuMF kernels (get_hermitian, batch-CG) are written on this layer in
+// cusim/kernels.hpp and differential-tested against the direct host
+// implementations in core/ and linalg/.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace cumf::cusim {
+
+/// CUDA dim3: sizes or coordinates of the launch hierarchy. Only .x is
+/// commonly used in the cuMF kernels, but all three axes are supported.
+struct Dim3 {
+  unsigned x = 1;
+  unsigned y = 1;
+  unsigned z = 1;
+
+  constexpr unsigned count() const noexcept { return x * y * z; }
+  friend bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+/// Awaitable barrier tag: `co_await ctx.sync();` ≡ __syncthreads().
+struct Barrier {};
+
+/// One device thread, as a coroutine. Threads start suspended; the executor
+/// drives them barrier-to-barrier.
+class ThreadTask {
+ public:
+  struct promise_type {
+    ThreadTask get_return_object() {
+      return ThreadTask(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { exception = std::current_exception(); }
+    /// Every co_await of a Barrier suspends and flags the barrier.
+    std::suspend_always await_transform(Barrier) noexcept {
+      at_barrier = true;
+      return {};
+    }
+
+    bool at_barrier = false;
+    std::exception_ptr exception;
+  };
+
+  ThreadTask() = default;
+  explicit ThreadTask(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  ThreadTask(ThreadTask&& other) noexcept : handle_(other.handle_) {
+    other.handle_ = nullptr;
+  }
+  ThreadTask& operator=(ThreadTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = other.handle_;
+      other.handle_ = nullptr;
+    }
+    return *this;
+  }
+  ThreadTask(const ThreadTask&) = delete;
+  ThreadTask& operator=(const ThreadTask&) = delete;
+  ~ThreadTask() { destroy(); }
+
+  bool done() const { return !handle_ || handle_.done(); }
+  bool at_barrier() const { return handle_ && handle_.promise().at_barrier; }
+
+  /// Runs the thread until it finishes or reaches the next barrier.
+  void resume() {
+    CUMF_EXPECTS(handle_ && !handle_.done(), "resuming a finished thread");
+    handle_.promise().at_barrier = false;
+    handle_.resume();
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Thrown when threads of one block disagree about the next barrier —
+/// CUDA's undefined behaviour, surfaced as a hard error.
+class BarrierDivergence : public std::logic_error {
+ public:
+  explicit BarrierDivergence(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+/// Per-thread execution context handed to the kernel.
+class KernelCtx {
+ public:
+  Dim3 gridDim;
+  Dim3 blockDim;
+  Dim3 blockIdx;
+  Dim3 threadIdx;
+
+  /// __syncthreads(): `co_await ctx.sync();`
+  Barrier sync() const noexcept { return {}; }
+
+  /// Linear thread id within the block (the CUDA lane/warp arithmetic the
+  /// cuMF kernels use).
+  unsigned tid() const noexcept {
+    return threadIdx.x + blockDim.x * (threadIdx.y + blockDim.y * threadIdx.z);
+  }
+
+  /// View into the block's shared memory, typed. `offset_bytes` must be
+  /// aligned for T.
+  template <typename T>
+  std::span<T> shared_array(std::size_t offset_bytes,
+                            std::size_t count) const {
+    CUMF_EXPECTS(offset_bytes % alignof(T) == 0,
+                 "misaligned shared-memory view");
+    CUMF_EXPECTS(offset_bytes + count * sizeof(T) <= shared_.size(),
+                 "shared-memory view exceeds the block allocation");
+    return {reinterpret_cast<T*>(shared_.data() + offset_bytes), count};
+  }
+
+  std::size_t shared_bytes() const noexcept { return shared_.size(); }
+
+ private:
+  friend class Launcher;
+  std::span<std::byte> shared_;
+};
+
+/// A kernel is a per-thread coroutine factory (the __global__ function).
+using Kernel = std::function<ThreadTask(KernelCtx)>;
+
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+  std::size_t shared_bytes = 0;  ///< dynamic shared memory per block
+};
+
+/// Executes `kernel` over the whole grid. Blocks run sequentially (their
+/// order is unobservable to a correct kernel, as on the device); threads of
+/// a block run cooperatively between barriers. Throws BarrierDivergence on
+/// mismatched __syncthreads(), and propagates kernel exceptions.
+void launch(const LaunchConfig& config, const Kernel& kernel);
+
+}  // namespace cumf::cusim

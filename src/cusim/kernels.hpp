@@ -1,0 +1,40 @@
+// The paper's device kernels, written CUDA-style on the cusim SIMT layer.
+//
+// These are the shapes a CUDA port would take — one block per rating row
+// for get_hermitian (Fig. 2), one block per linear system for the batch CG
+// solver (Algorithm 1) with shared-memory tree reductions — executed
+// functionally. They are differential-tested against the direct host
+// implementations (core/hermitian, linalg/cg); being ~10x slower than the
+// direct loops, they serve as executable documentation and validation, not
+// as the training path.
+#pragma once
+
+#include <vector>
+
+#include "cusim/cusim.hpp"
+#include "linalg/dense.hpp"
+#include "sparse/csr.hpp"
+
+namespace cumf::cusim {
+
+struct HermitianBatchResult {
+  std::vector<real_t> a;  ///< m × f·f, row-major per system
+  std::vector<real_t> b;  ///< m × f
+};
+
+/// get_hermitian over every row of `r`: one block per row, one thread per
+/// lower-triangular tile pair, θ batches staged through shared memory with
+/// __syncthreads() between staging and accumulation (the Fig. 2 kernel).
+HermitianBatchResult hermitian_kernel_launch(const CsrMatrix& r,
+                                             const Matrix& theta,
+                                             real_t lambda, int tile,
+                                             int bin);
+
+/// Batch CG (Algorithm 1): one block per system, one thread per row of A,
+/// dot products via shared-memory tree reduction. A is f×f per system
+/// (batch-contiguous); x carries warm starts and receives solutions.
+void cg_kernel_launch(std::size_t batch, std::size_t f,
+                      std::span<const real_t> a, std::span<const real_t> b,
+                      std::span<real_t> x, std::uint32_t fs, real_t eps);
+
+}  // namespace cumf::cusim

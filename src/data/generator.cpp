@@ -1,0 +1,128 @@
+#include "data/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace cumf {
+
+namespace {
+
+/// Rating value of the planted model at (u, v), clipped to the rating scale.
+double planted_value(const SyntheticConfig& cfg, const Matrix& p,
+                     const Matrix& q, index_t u, index_t v, double noise) {
+  double s = 0.0;
+  for (std::size_t k = 0; k < cfg.true_rank; ++k) {
+    s += static_cast<double>(p(u, k)) * static_cast<double>(q(v, k));
+  }
+  const double raw = cfg.mean + s + noise;
+  return std::clamp(raw, cfg.rating_lo, cfg.rating_hi);
+}
+
+}  // namespace
+
+SyntheticDataset generate_synthetic(const SyntheticConfig& cfg) {
+  CUMF_EXPECTS(cfg.m > 0 && cfg.n > 0, "matrix must be non-empty");
+  CUMF_EXPECTS(cfg.true_rank > 0, "planted rank must be positive");
+  CUMF_EXPECTS(cfg.rating_lo < cfg.rating_hi, "rating scale must be a range");
+  CUMF_EXPECTS(cfg.nnz >= cfg.m + cfg.n,
+               "need nnz >= m + n to cover every row and column");
+  CUMF_EXPECTS(cfg.nnz <= static_cast<nnz_t>(cfg.m) * cfg.n,
+               "nnz exceeds matrix capacity");
+
+  Rng rng(cfg.seed);
+  SyntheticDataset out;
+
+  // Planted factors: the dot product of two length-k vectors with i.i.d.
+  // N(0, a²) entries has variance k·a⁴, so a = sqrt(s/√k) gives the dot
+  // product a std-dev of s.
+  const double factor_std = std::sqrt(
+      cfg.signal_std / std::sqrt(static_cast<double>(cfg.true_rank)));
+  out.true_user_factors = Matrix(cfg.m, cfg.true_rank);
+  out.true_item_factors = Matrix(cfg.n, cfg.true_rank);
+  for (index_t u = 0; u < cfg.m; ++u) {
+    for (std::size_t k = 0; k < cfg.true_rank; ++k) {
+      out.true_user_factors(u, k) =
+          static_cast<real_t>(rng.normal(0.0, factor_std));
+    }
+  }
+  for (index_t v = 0; v < cfg.n; ++v) {
+    for (std::size_t k = 0; k < cfg.true_rank; ++k) {
+      out.true_item_factors(v, k) =
+          static_cast<real_t>(rng.normal(0.0, factor_std));
+    }
+  }
+
+  out.ratings = RatingsCoo(cfg.m, cfg.n);
+  std::unordered_set<std::uint64_t> taken;
+  taken.reserve(static_cast<std::size_t>(cfg.nnz) * 2);
+  const auto key = [&](index_t u, index_t v) {
+    return static_cast<std::uint64_t>(u) * cfg.n + v;
+  };
+
+  double sq_noise = 0.0;
+  const auto emit = [&](index_t u, index_t v) {
+    const double noise = rng.normal(0.0, cfg.noise_std);
+    const double clean =
+        planted_value(cfg, out.true_user_factors, out.true_item_factors, u,
+                      v, 0.0);
+    const double noisy =
+        planted_value(cfg, out.true_user_factors, out.true_item_factors, u,
+                      v, noise);
+    sq_noise += (noisy - clean) * (noisy - clean);
+    out.ratings.add(u, v, static_cast<real_t>(noisy));
+  };
+
+  // Pass 1: one entry per row and per column so no factor is unobserved.
+  for (index_t u = 0; u < cfg.m; ++u) {
+    const auto v = static_cast<index_t>(rng.uniform_index(cfg.n));
+    taken.insert(key(u, v));
+    emit(u, v);
+  }
+  for (index_t v = 0; v < cfg.n; ++v) {
+    const auto u = static_cast<index_t>(rng.uniform_index(cfg.m));
+    if (taken.insert(key(u, v)).second) {
+      emit(u, v);
+    }
+  }
+
+  // Pass 2: fill to nnz with Zipf-skewed popularity, rejecting duplicates.
+  const ZipfSampler row_sampler(cfg.m, cfg.row_zipf);
+  const ZipfSampler col_sampler(cfg.n, cfg.col_zipf);
+  // Random permutations decouple Zipf rank from index order, so popular
+  // rows/columns are scattered across the index space as in real data.
+  std::vector<index_t> row_perm(cfg.m);
+  std::vector<index_t> col_perm(cfg.n);
+  for (index_t i = 0; i < cfg.m; ++i) {
+    row_perm[i] = i;
+  }
+  for (index_t i = 0; i < cfg.n; ++i) {
+    col_perm[i] = i;
+  }
+  for (index_t i = cfg.m; i > 1; --i) {
+    std::swap(row_perm[i - 1],
+              row_perm[static_cast<index_t>(rng.uniform_index(i))]);
+  }
+  for (index_t i = cfg.n; i > 1; --i) {
+    std::swap(col_perm[i - 1],
+              col_perm[static_cast<index_t>(rng.uniform_index(i))]);
+  }
+
+  while (out.ratings.nnz() < cfg.nnz) {
+    const index_t u = row_perm[row_sampler(rng)];
+    const index_t v = col_perm[col_sampler(rng)];
+    if (taken.insert(key(u, v)).second) {
+      emit(u, v);
+    }
+  }
+
+  out.ratings.sort_and_dedup();
+  CUMF_ENSURES(out.ratings.nnz() == cfg.nnz, "duplicate slipped through");
+  out.noise_floor_rmse =
+      std::sqrt(sq_noise / static_cast<double>(out.ratings.nnz()));
+  return out;
+}
+
+}  // namespace cumf

@@ -1,0 +1,22 @@
+#include "data/implicit.hpp"
+
+#include "common/check.hpp"
+
+namespace cumf {
+
+ImplicitDataset to_implicit(const RatingsCoo& explicit_ratings,
+                            real_t threshold, double alpha) {
+  CUMF_EXPECTS(alpha > 0.0, "confidence scale must be positive");
+  ImplicitDataset out;
+  out.alpha = alpha;
+  out.interactions =
+      RatingsCoo(explicit_ratings.rows(), explicit_ratings.cols());
+  for (const Rating& e : explicit_ratings.entries()) {
+    if (e.r >= threshold) {
+      out.interactions.add(e.u, e.v, e.r - threshold + real_t{1});
+    }
+  }
+  return out;
+}
+
+}  // namespace cumf

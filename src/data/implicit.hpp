@@ -1,0 +1,30 @@
+// Implicit-feedback conversion (Hu, Koren & Volinsky, ICDM'08; paper §V-F).
+//
+// Explicit ratings r_uv become binary preferences p_uv = 1[r_uv > 0] with
+// confidence c_uv = 1 + α·r_uv. Zeros are no longer "missing" but low-
+// confidence negatives, which makes the effective matrix dense — the reason
+// SGD loses its competitiveness and ALS shines (§V-F).
+#pragma once
+
+#include "sparse/coo.hpp"
+
+namespace cumf {
+
+struct ImplicitDataset {
+  /// Observed interactions: value holds the *raw* strength r_uv (> 0).
+  RatingsCoo interactions;
+  double alpha = 40.0;  ///< confidence scaling c_uv = 1 + α·r_uv
+};
+
+/// Converts explicit ratings into implicit interactions: entries with
+/// r ≥ threshold are kept (value = r − threshold + 1, a positive strength);
+/// the rest are dropped (they become the implicit zeros).
+ImplicitDataset to_implicit(const RatingsCoo& explicit_ratings,
+                            real_t threshold, double alpha);
+
+/// Confidence of an observed interaction with strength r.
+inline double confidence(const ImplicitDataset& d, real_t r) noexcept {
+  return 1.0 + d.alpha * static_cast<double>(r);
+}
+
+}  // namespace cumf

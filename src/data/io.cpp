@@ -1,0 +1,51 @@
+#include "data/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace cumf {
+
+void write_ratings(std::ostream& os, const RatingsCoo& ratings) {
+  os << ratings.rows() << ' ' << ratings.cols() << ' ' << ratings.nnz()
+     << '\n';
+  for (const Rating& e : ratings.entries()) {
+    os << e.u << ' ' << e.v << ' ' << e.r << '\n';
+  }
+}
+
+void write_ratings_file(const std::string& path, const RatingsCoo& ratings) {
+  std::ofstream os(path);
+  CUMF_EXPECTS(os.good(), "cannot open file for writing: " + path);
+  write_ratings(os, ratings);
+  CUMF_ENSURES(os.good(), "write failed: " + path);
+}
+
+RatingsCoo read_ratings(std::istream& is) {
+  index_t m = 0;
+  index_t n = 0;
+  nnz_t nnz = 0;
+  is >> m >> n >> nnz;
+  CUMF_EXPECTS(is.good() || is.eof(), "malformed header");
+  CUMF_EXPECTS(m > 0 && n > 0, "matrix dimensions must be positive");
+
+  RatingsCoo out(m, n);
+  for (nnz_t i = 0; i < nnz; ++i) {
+    index_t u = 0;
+    index_t v = 0;
+    real_t r = 0;
+    is >> u >> v >> r;
+    CUMF_EXPECTS(!is.fail(), "truncated or malformed entry");
+    out.add(u, v, r);  // add() validates the index range
+  }
+  return out;
+}
+
+RatingsCoo read_ratings_file(const std::string& path) {
+  std::ifstream is(path);
+  CUMF_EXPECTS(is.good(), "cannot open file for reading: " + path);
+  return read_ratings(is);
+}
+
+}  // namespace cumf

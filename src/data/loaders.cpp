@@ -1,0 +1,105 @@
+#include "data/loaders.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace cumf {
+
+namespace {
+
+/// Splits a MovieLens "a::b::c::d" line into fields (also tolerates a
+/// single ':' which some re-exports use).
+std::vector<std::string> split_movielens(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    const std::size_t next = line.find("::", pos);
+    if (next == std::string::npos) {
+      fields.push_back(line.substr(pos));
+      break;
+    }
+    fields.push_back(line.substr(pos, next - pos));
+    pos = next + 2;
+  }
+  return fields;
+}
+
+[[noreturn]] void malformed(std::size_t line_no, const std::string& line) {
+  std::ostringstream os;
+  os << "malformed rating on line " << line_no << ": '" << line << '\'';
+  throw CheckError(os.str());
+}
+
+}  // namespace
+
+RatingsCoo load_ratings(std::istream& is, const LoaderOptions& options) {
+  std::vector<Rating> entries;
+  index_t max_u = 0;
+  index_t max_v = 0;
+  std::string line;
+  std::size_t line_no = 0;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Trim trailing CR (files produced on Windows) and skip blanks/comments.
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    const std::size_t first =
+        line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+
+    long long u = 0;
+    long long v = 0;
+    double r = 0;
+    if (options.format == RatingsFormat::Triplets) {
+      std::istringstream fields(line);
+      if (!(fields >> u >> v >> r)) {
+        malformed(line_no, line);
+      }
+    } else {
+      const auto fields = split_movielens(line);
+      if (fields.size() < 3) {
+        malformed(line_no, line);
+      }
+      try {
+        u = std::stoll(fields[0]);
+        v = std::stoll(fields[1]);
+        r = std::stod(fields[2]);
+      } catch (const std::exception&) {
+        malformed(line_no, line);
+      }
+    }
+
+    if (options.one_based) {
+      --u;
+      --v;
+    }
+    if (u < 0 || v < 0) {
+      malformed(line_no, line);
+    }
+    const auto uu = static_cast<index_t>(u);
+    const auto vv = static_cast<index_t>(v);
+    max_u = std::max(max_u, uu);
+    max_v = std::max(max_v, vv);
+    entries.push_back(Rating{uu, vv, static_cast<real_t>(r)});
+  }
+  CUMF_EXPECTS(!entries.empty(), "no ratings found in input");
+  return RatingsCoo(max_u + 1, max_v + 1, std::move(entries));
+}
+
+RatingsCoo load_ratings_file(const std::string& path,
+                             const LoaderOptions& options) {
+  std::ifstream is(path);
+  CUMF_EXPECTS(is.good(), "cannot open ratings file: " + path);
+  return load_ratings(is, options);
+}
+
+}  // namespace cumf

@@ -1,0 +1,79 @@
+#include "data/model_io.hpp"
+
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace cumf {
+
+namespace {
+constexpr const char* kMagic = "cumf-model";
+constexpr int kVersion = 1;
+}  // namespace
+
+void write_matrix(std::ostream& os, const Matrix& matrix) {
+  os << matrix.rows() << ' ' << matrix.cols() << '\n';
+  os.precision(std::numeric_limits<real_t>::max_digits10);
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    const auto row = matrix.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : " ") << row[c];
+    }
+    os << '\n';
+  }
+}
+
+Matrix read_matrix(std::istream& is) {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  is >> rows >> cols;
+  CUMF_EXPECTS(!is.fail(), "malformed matrix header");
+  CUMF_EXPECTS(rows > 0 && cols > 0, "matrix dimensions must be positive");
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      is >> m(r, c);
+      CUMF_EXPECTS(!is.fail(), "truncated matrix data");
+    }
+  }
+  return m;
+}
+
+void write_model(std::ostream& os, const FactorModel& model) {
+  CUMF_EXPECTS(model.x.cols() == model.theta.cols(),
+               "factor matrices must share the latent dimension");
+  os << kMagic << ' ' << kVersion << '\n';
+  write_matrix(os, model.x);
+  write_matrix(os, model.theta);
+}
+
+void write_model_file(const std::string& path, const FactorModel& model) {
+  std::ofstream os(path);
+  CUMF_EXPECTS(os.good(), "cannot open model file for writing: " + path);
+  write_model(os, model);
+  CUMF_ENSURES(os.good(), "model write failed: " + path);
+}
+
+FactorModel read_model(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  CUMF_EXPECTS(magic == kMagic, "not a cumf model file");
+  CUMF_EXPECTS(version == kVersion, "unsupported model version");
+  FactorModel model;
+  model.x = read_matrix(is);
+  model.theta = read_matrix(is);
+  CUMF_EXPECTS(model.x.cols() == model.theta.cols(),
+               "model file has mismatched latent dimensions");
+  return model;
+}
+
+FactorModel read_model_file(const std::string& path) {
+  std::ifstream is(path);
+  CUMF_EXPECTS(is.good(), "cannot open model file for reading: " + path);
+  return read_model(is);
+}
+
+}  // namespace cumf

@@ -1,0 +1,34 @@
+// Persistence for trained factor models.
+//
+// Text format, versioned header:
+//   cumf-model 1
+//   <rows> <cols>
+//   <row 0: cols floats> ...
+// Two matrices (X then Θ) make a model file. Deliberately human-readable —
+// the same trade LIBMF makes for its model files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "linalg/dense.hpp"
+
+namespace cumf {
+
+void write_matrix(std::ostream& os, const Matrix& matrix);
+Matrix read_matrix(std::istream& is);
+
+struct FactorModel {
+  Matrix x;      ///< m×f user factors
+  Matrix theta;  ///< n×f item factors
+};
+
+void write_model(std::ostream& os, const FactorModel& model);
+void write_model_file(const std::string& path, const FactorModel& model);
+
+/// Throws CheckError on malformed input (bad magic, truncated data,
+/// mismatched latent dimensions between the two matrices).
+FactorModel read_model(std::istream& is);
+FactorModel read_model_file(const std::string& path);
+
+}  // namespace cumf

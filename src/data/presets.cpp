@@ -1,0 +1,109 @@
+#include "data/presets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace cumf {
+
+DatasetPreset DatasetPreset::netflix() {
+  DatasetPreset p;
+  p.name = "Netflix";
+  p.full_m = 480'189;
+  p.full_n = 17'770;
+  p.full_nnz = 99'000'000;
+  p.paper_f = 100;
+  p.paper_lambda = 0.05;
+  p.target_rmse = 0.92;
+
+  // 1–5 star ratings, m:n ≈ 27:1.
+  p.scaled.m = 6'000;
+  p.scaled.n = 250;
+  p.scaled.nnz = 300'000;
+  p.scaled.true_rank = 8;
+  p.scaled.mean = 3.6;
+  p.scaled.signal_std = 0.55;
+  p.scaled.noise_std = 0.85;
+  p.scaled.rating_lo = 1.0;
+  p.scaled.rating_hi = 5.0;
+  p.scaled.row_zipf = 0.8;
+  p.scaled.col_zipf = 0.9;
+  p.scaled.seed = 4242;
+  return p;
+}
+
+DatasetPreset DatasetPreset::yahoomusic() {
+  DatasetPreset p;
+  p.name = "YahooMusic";
+  p.full_m = 1'000'990;
+  p.full_n = 624'961;
+  p.full_nnz = 252'800'000;
+  p.paper_f = 100;
+  p.paper_lambda = 1.4;
+  p.target_rmse = 22.0;
+
+  // 1–100 scale ratings, m:n ≈ 1.6:1.
+  p.scaled.m = 5'000;
+  p.scaled.n = 3'000;
+  p.scaled.nnz = 260'000;
+  p.scaled.true_rank = 8;
+  p.scaled.mean = 50.0;
+  p.scaled.signal_std = 14.0;
+  p.scaled.noise_std = 20.0;
+  p.scaled.rating_lo = 1.0;
+  p.scaled.rating_hi = 100.0;
+  p.scaled.row_zipf = 0.85;
+  p.scaled.col_zipf = 1.0;
+  p.scaled.seed = 777;
+  return p;
+}
+
+DatasetPreset DatasetPreset::hugewiki() {
+  DatasetPreset p;
+  p.name = "Hugewiki";
+  p.full_m = 50'082'603;
+  p.full_n = 39'780;
+  p.full_nnz = 3'100'000'000;
+  p.paper_f = 100;
+  p.paper_lambda = 0.05;
+  p.target_rmse = 0.52;
+
+  // Term frequencies (we use a 0–10 log-count-like scale), extremely tall.
+  p.scaled.m = 10'000;
+  p.scaled.n = 120;
+  p.scaled.nnz = 320'000;
+  p.scaled.true_rank = 8;
+  p.scaled.mean = 1.8;
+  p.scaled.signal_std = 0.35;
+  p.scaled.noise_std = 0.45;
+  p.scaled.rating_lo = 0.0;
+  p.scaled.rating_hi = 10.0;
+  p.scaled.row_zipf = 0.7;
+  p.scaled.col_zipf = 1.1;
+  p.scaled.seed = 31337;
+  return p;
+}
+
+DatasetPreset DatasetPreset::resized(double factor) const {
+  CUMF_EXPECTS(factor >= 0.05, "resize factor too small");
+  DatasetPreset p = *this;
+  const double dim_factor = std::sqrt(factor);
+  p.scaled.m = std::max<index_t>(
+      64, static_cast<index_t>(std::lround(scaled.m * dim_factor)));
+  p.scaled.n = std::max<index_t>(
+      32, static_cast<index_t>(std::lround(scaled.n * dim_factor)));
+  p.scaled.nnz = std::max<nnz_t>(
+      p.scaled.m + p.scaled.n,
+      static_cast<nnz_t>(std::llround(static_cast<double>(scaled.nnz) *
+                                      factor)));
+  p.scaled.nnz = std::min<nnz_t>(
+      p.scaled.nnz, static_cast<nnz_t>(p.scaled.m) * p.scaled.n / 3);
+  return p;
+}
+
+SyntheticDataset generate(const DatasetPreset& preset) {
+  return generate_synthetic(preset.scaled);
+}
+
+}  // namespace cumf

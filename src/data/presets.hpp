@@ -1,0 +1,44 @@
+// Dataset presets mirroring Table II of the paper.
+//
+// Each preset carries (a) the *published* full-scale statistics — used by the
+// gpusim cost model to extrapolate kernel times at the paper's true sizes —
+// and (b) a scaled-down generation config whose numerics run natively on this
+// machine. The scaled config preserves the aspect ratio m:n and the rating
+// scale; the noise level is chosen so the paper's "acceptable RMSE" threshold
+// is attainable but not trivial (the planted noise floor sits a few percent
+// below it, like the best published RMSEs on the real datasets).
+#pragma once
+
+#include <string>
+
+#include "data/generator.hpp"
+
+namespace cumf {
+
+struct DatasetPreset {
+  std::string name;
+
+  // Published statistics (Table II).
+  nnz_t full_m = 0;
+  nnz_t full_n = 0;
+  nnz_t full_nnz = 0;
+  int paper_f = 100;          ///< latent dimension used in the paper
+  double paper_lambda = 0.05; ///< regularization used in the paper
+  double target_rmse = 0.0;   ///< the paper's "acceptable" test RMSE
+
+  // Scaled synthetic config for native runs.
+  SyntheticConfig scaled;
+
+  static DatasetPreset netflix();
+  static DatasetPreset yahoomusic();
+  static DatasetPreset hugewiki();
+
+  /// Multiplies the scaled nnz / m / n by `factor` (≥ 0.05), keeping the
+  /// shape ratios. Useful for quick tests (factor < 1) or stress runs.
+  DatasetPreset resized(double factor) const;
+};
+
+/// Generates the scaled dataset of a preset.
+SyntheticDataset generate(const DatasetPreset& preset);
+
+}  // namespace cumf

@@ -1,0 +1,100 @@
+#include "gpusim/cache.hpp"
+
+#include <algorithm>
+
+namespace cumf::gpusim {
+
+namespace {
+bool is_pow2(std::int64_t x) noexcept { return x > 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+CacheLevel::CacheLevel(const CacheConfig& config) : config_(config) {
+  CUMF_EXPECTS(config_.size_bytes > 0, "cache size must be positive");
+  CUMF_EXPECTS(is_pow2(config_.line_bytes), "line size must be a power of 2");
+  CUMF_EXPECTS(config_.ways > 0, "cache must have at least one way");
+  // Arbitrary set counts are allowed (real L1s are often non-power-of-two
+  // when partitioned); indexing uses modulo rather than bit masking.
+  sets_ = config_.size_bytes / (static_cast<std::int64_t>(config_.line_bytes) *
+                                config_.ways);
+  CUMF_EXPECTS(sets_ > 0, "cache smaller than one set");
+  tags_.assign(static_cast<std::size_t>(sets_) * config_.ways, 0);
+  stamps_.assign(tags_.size(), 0);
+}
+
+bool CacheLevel::access(std::uint64_t address) {
+  const std::uint64_t line =
+      address / static_cast<std::uint64_t>(config_.line_bytes);
+  const std::uint64_t set = line % static_cast<std::uint64_t>(sets_);
+  const std::uint64_t tag = line + 1;  // +1 so tag 0 means "invalid"
+  const std::size_t base = static_cast<std::size_t>(set) *
+                           static_cast<std::size_t>(config_.ways);
+  ++clock_;
+
+  int victim = 0;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (int w = 0; w < config_.ways; ++w) {
+    if (tags_[base + w] == tag) {
+      stamps_[base + w] = clock_;
+      ++hits_;
+      return true;
+    }
+    if (stamps_[base + w] < oldest) {
+      oldest = stamps_[base + w];
+      victim = w;
+    }
+  }
+  tags_[base + victim] = tag;
+  stamps_[base + victim] = clock_;
+  ++misses_;
+  return false;
+}
+
+void CacheLevel::flush() {
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(stamps_.begin(), stamps_.end(), 0);
+  clock_ = hits_ = misses_ = 0;
+}
+
+double CacheLevel::hit_rate() const noexcept {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+CacheHierarchy::CacheHierarchy(const CacheConfig& l1, const CacheConfig& l2,
+                               bool l1_enabled)
+    : l1_(l1), l2_(l2), l1_enabled_(l1_enabled) {}
+
+MemLevel CacheHierarchy::access(std::uint64_t address) {
+  ++total_;
+  if (l1_enabled_ && l1_.access(address)) {
+    ++from_l1_;
+    return MemLevel::L1;
+  }
+  if (l2_.access(address)) {
+    ++from_l2_;
+    return MemLevel::L2;
+  }
+  ++from_dram_;
+  return MemLevel::Dram;
+}
+
+std::uint64_t CacheHierarchy::served_by(MemLevel level) const {
+  switch (level) {
+    case MemLevel::L1:
+      return from_l1_;
+    case MemLevel::L2:
+      return from_l2_;
+    case MemLevel::Dram:
+      return from_dram_;
+  }
+  return 0;
+}
+
+void CacheHierarchy::flush() {
+  l1_.flush();
+  l2_.flush();
+  total_ = from_l1_ = from_l2_ = from_dram_ = 0;
+}
+
+}  // namespace cumf::gpusim

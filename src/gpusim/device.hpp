@@ -1,0 +1,84 @@
+// Architectural description of the simulated GPUs (and CPU hosts).
+//
+// We have no physical GPU, so the paper's three test devices (Table III) are
+// modelled by their published architectural parameters. Everything the cost
+// model needs — SM count, register file, shared memory, cache sizes, peak
+// FLOPS, DRAM bandwidth/latency — comes from this struct; kernels execute
+// functionally on the host while the model charges simulated device time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cumf::gpusim {
+
+struct DeviceSpec {
+  std::string name;
+
+  // Compute resources.
+  int sm_count = 0;
+  int regs_per_sm = 65536;        ///< 32-bit registers per SM
+  int smem_per_sm_bytes = 0;      ///< shared memory per SM
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 32;
+  int warp_size = 32;
+  /// Max memory requests a warp can keep in flight (MSHR-style limit).
+  int outstanding_loads_per_warp = 6;
+
+  // Memory hierarchy.
+  int l1_bytes = 0;         ///< per-SM L1 data cache
+  std::int64_t l2_bytes = 0;  ///< device-wide L2
+  int cache_line_bytes = 128;
+  double dram_latency_s = 0.0;   ///< full DRAM round-trip latency
+  double l2_latency_s = 0.0;     ///< latency when served by L2
+  double l1_latency_s = 0.0;     ///< latency when served by L1
+
+  // Throughput.
+  double peak_flops = 0.0;        ///< FP32 peak (FMA counted as 2 FLOP)
+  /// FP16 Tensor-Core peak (0 on pre-Volta parts). The paper's §VII future
+  /// work — exploiting Tensor Cores for the FP16 hermitian — is modelled
+  /// through this field on the Volta preset.
+  double tensor_flops = 0.0;
+  double dram_bw = 0.0;           ///< bytes/s
+  double l2_bw = 0.0;             ///< bytes/s device-wide
+  /// Fraction of peak DRAM bandwidth achieved by plain device-to-device
+  /// memcpy; the reference line in Fig. 7b.
+  double memcpy_efficiency = 0.75;
+  /// Fraction of peak FLOPS a well-tuned dense kernel sustains (issue
+  /// overheads, bank conflicts, tail effects).
+  double compute_efficiency = 0.72;
+
+  /// Paper Table III presets.
+  static DeviceSpec kepler_k40();
+  static DeviceSpec maxwell_titan_x();
+  static DeviceSpec pascal_p100();
+  /// Volta V100 — the paper's §VII "new Nvidia Tensor Cores" target,
+  /// released after the paper; used by the future-work benches.
+  static DeviceSpec volta_v100();
+};
+
+/// CPU host / cluster description for the LIBMF and NOMAD comparison lines
+/// (Fig. 6, Table IV). Like the GPUs, CPU baselines run functionally and are
+/// charged modelled time.
+struct HostSpec {
+  std::string name;
+  int machines = 1;
+  int cores_per_machine = 0;
+  double flops_per_core = 0.0;      ///< sustained FP32 per core
+  double mem_bw_per_machine = 0.0;  ///< bytes/s
+  /// Parallel efficiency of the SGD implementation at this scale (locking,
+  /// NUMA, load imbalance). LIBMF stops scaling past a few dozen cores
+  /// (paper §VI-A), which this factor captures.
+  double parallel_efficiency = 0.6;
+  /// Inter-machine network bandwidth (bytes/s) and per-message latency,
+  /// used only when machines > 1 (NOMAD).
+  double network_bw = 0.0;
+  double network_latency_s = 0.0;
+
+  /// 40-core single machine used for LIBMF in the paper.
+  static HostSpec libmf_40core();
+  /// 32-machine HPC cluster used for NOMAD (64 machines for Hugewiki).
+  static HostSpec nomad_cluster(int machines);
+};
+
+}  // namespace cumf::gpusim

@@ -1,0 +1,33 @@
+#include "gpusim/interconnect.hpp"
+
+#include "common/check.hpp"
+
+namespace cumf::gpusim {
+
+LinkSpec LinkSpec::pcie3() {
+  return LinkSpec{"PCIe 3.0 x16", 12.0e9, 10e-6};
+}
+
+LinkSpec LinkSpec::nvlink() {
+  // 40 GB/s per link, 4 links per GPU (paper §I); a ring all-gather uses
+  // one link per neighbour, so the per-direction budget is one link.
+  return LinkSpec{"NVLink", 40.0e9, 5e-6};
+}
+
+double transfer_seconds(const LinkSpec& link, double bytes) {
+  CUMF_EXPECTS(link.bw > 0, "link bandwidth must be positive");
+  CUMF_EXPECTS(bytes >= 0, "cannot transfer negative bytes");
+  return link.latency_s + bytes / link.bw;
+}
+
+double allgather_seconds(const LinkSpec& link, int gpus,
+                         double bytes_per_gpu) {
+  CUMF_EXPECTS(gpus >= 1, "need at least one GPU");
+  if (gpus == 1) {
+    return 0.0;
+  }
+  // Ring: g−1 rounds; in each round every device forwards one partition.
+  return (gpus - 1) * transfer_seconds(link, bytes_per_gpu);
+}
+
+}  // namespace cumf::gpusim

@@ -1,0 +1,32 @@
+// GPU-to-GPU interconnect model (PCIe 3.0 and NVLink).
+//
+// The multi-GPU runs of Fig. 6/8 (Hugewiki on four GPUs) require each device
+// to see the full updated factor matrix after every half-epoch; the paper
+// notes NVLink's 40 GB/s per link × 4 links as the enabler. This module
+// models the all-gather of factor partitions across devices.
+#pragma once
+
+#include <string>
+
+namespace cumf::gpusim {
+
+struct LinkSpec {
+  std::string name;
+  double bw = 0.0;         ///< bytes/s per direction per device
+  double latency_s = 0.0;  ///< per-transfer setup latency
+
+  /// PCIe 3.0 x16: ~12 GB/s effective.
+  static LinkSpec pcie3();
+  /// NVLink (paper §I): 40 GB/s per link, 4 links per GPU.
+  static LinkSpec nvlink();
+};
+
+/// Time to move `bytes` point-to-point over one link.
+double transfer_seconds(const LinkSpec& link, double bytes);
+
+/// Ring all-gather among `gpus` devices where each holds `bytes_per_gpu`:
+/// (g−1) steps, each moving bytes_per_gpu per device concurrently.
+double allgather_seconds(const LinkSpec& link, int gpus,
+                         double bytes_per_gpu);
+
+}  // namespace cumf::gpusim

@@ -1,0 +1,79 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace cumf::gpusim {
+
+Occupancy compute_occupancy(const DeviceSpec& dev, const KernelResources& k) {
+  CUMF_EXPECTS(k.regs_per_thread > 0 && k.threads_per_block > 0,
+               "kernel resources must be positive");
+  CUMF_EXPECTS(k.threads_per_block % dev.warp_size == 0,
+               "block size must be a whole number of warps");
+
+  const int regs_per_block = k.regs_per_thread * k.threads_per_block;
+  const int by_regs = dev.regs_per_sm / regs_per_block;
+  const int by_smem = k.smem_per_block_bytes > 0
+                          ? dev.smem_per_sm_bytes / k.smem_per_block_bytes
+                          : dev.max_blocks_per_sm;
+  const int by_threads = dev.max_threads_per_sm / k.threads_per_block;
+  const int by_blocks = dev.max_blocks_per_sm;
+
+  Occupancy occ;
+  occ.blocks_per_sm = std::min({by_regs, by_smem, by_threads, by_blocks});
+  if (occ.blocks_per_sm == by_regs) {
+    occ.limited_by = OccupancyLimit::Registers;
+  }
+  if (occ.blocks_per_sm == by_smem && by_smem < by_regs) {
+    occ.limited_by = OccupancyLimit::SharedMemory;
+  }
+  if (occ.blocks_per_sm == by_threads && by_threads < std::min(by_regs, by_smem)) {
+    occ.limited_by = OccupancyLimit::Threads;
+  }
+  if (occ.blocks_per_sm == by_blocks &&
+      by_blocks < std::min({by_regs, by_smem, by_threads})) {
+    occ.limited_by = OccupancyLimit::Blocks;
+  }
+  occ.warps_per_sm =
+      occ.blocks_per_sm * (k.threads_per_block / dev.warp_size);
+  const int max_warps = dev.max_threads_per_sm / dev.warp_size;
+  occ.fraction = static_cast<double>(occ.warps_per_sm) / max_warps;
+  return occ;
+}
+
+int hermitian_regs_per_thread(int f, int tile) {
+  CUMF_EXPECTS(f > 0 && tile > 0 && f % tile == 0,
+               "f must be a positive multiple of the tile size");
+  // Each thread accumulates one T×T sub-block of A_u in registers (T² regs)
+  // plus staging pointers, loop counters and the two θ fragments — a fixed
+  // overhead of 68 registers measured on the open-source cuMF kernels.
+  // The paper's example: f=100, T=10 → 100 + 68 = 168 regs/thread.
+  return tile * tile + 68;
+}
+
+int hermitian_threads_per_block(int f, int tile, int warp_size) {
+  CUMF_EXPECTS(f > 0 && tile > 0 && f % tile == 0,
+               "f must be a positive multiple of the tile size");
+  const int nt = f / tile;                      // tiles per dimension
+  const int tri = nt * (nt + 1) / 2;            // lower-triangular tile pairs
+  const int rounded = (tri + warp_size - 1) / warp_size * warp_size;
+  // f=100, T=10 → 55 tile pairs → 64 threads, the paper's block size.
+  return rounded;
+}
+
+const char* to_string(OccupancyLimit limit) {
+  switch (limit) {
+    case OccupancyLimit::Registers:
+      return "registers";
+    case OccupancyLimit::SharedMemory:
+      return "shared-memory";
+    case OccupancyLimit::Threads:
+      return "threads";
+    case OccupancyLimit::Blocks:
+      return "blocks";
+  }
+  return "unknown";
+}
+
+}  // namespace cumf::gpusim

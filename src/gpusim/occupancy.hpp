@@ -1,0 +1,43 @@
+// Occupancy calculator (paper Observation 2).
+//
+// The get_hermitian kernel deliberately over-uses registers to keep A_u tiles
+// on-chip; the resulting low occupancy is *why* non-coalesced cache-assisted
+// loads win (Solution 2). The paper's worked example — f = 100 needs 168
+// registers/thread with 64-thread blocks, so an SM holds 65536/(168·64) ≈ 6
+// blocks instead of the 32-block capacity — is a unit test of this module.
+#pragma once
+
+#include "gpusim/device.hpp"
+
+namespace cumf::gpusim {
+
+/// Static resource demands of one kernel thread-block.
+struct KernelResources {
+  int regs_per_thread = 0;
+  int threads_per_block = 0;
+  int smem_per_block_bytes = 0;
+};
+
+enum class OccupancyLimit { Registers, SharedMemory, Threads, Blocks };
+
+struct Occupancy {
+  int blocks_per_sm = 0;
+  int warps_per_sm = 0;
+  double fraction = 0.0;  ///< active warps / max warps
+  OccupancyLimit limited_by = OccupancyLimit::Blocks;
+};
+
+Occupancy compute_occupancy(const DeviceSpec& dev, const KernelResources& k);
+
+/// Register demand of the paper's get_hermitian thread (§III): each thread
+/// owns a T×T register tile of A_u plus staging/loop registers.
+/// The paper's instance (f=100, tile=10) yields 168.
+int hermitian_regs_per_thread(int f, int tile);
+
+/// Thread-block size used by get_hermitian for a given f and tile size:
+/// one thread per lower-triangular tile pair is rounded up to whole warps.
+int hermitian_threads_per_block(int f, int tile, int warp_size = 32);
+
+const char* to_string(OccupancyLimit limit);
+
+}  // namespace cumf::gpusim

@@ -1,0 +1,23 @@
+#include "gpusim/sim_clock.hpp"
+
+#include "common/check.hpp"
+
+namespace cumf::gpusim {
+
+void SimClock::charge(const std::string& kernel, double seconds) {
+  CUMF_EXPECTS(seconds >= 0.0, "cannot charge negative time");
+  buckets_[kernel] += seconds;
+  total_ += seconds;
+}
+
+double SimClock::of(const std::string& kernel) const {
+  const auto it = buckets_.find(kernel);
+  return it == buckets_.end() ? 0.0 : it->second;
+}
+
+void SimClock::reset() {
+  buckets_.clear();
+  total_ = 0.0;
+}
+
+}  // namespace cumf::gpusim

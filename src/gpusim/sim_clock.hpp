@@ -1,0 +1,37 @@
+// Simulated-time ledger.
+//
+// Every kernel launch in the functional execution charges its modelled
+// device time here, keyed by kernel name. Benchmarks read per-kernel
+// breakdowns (e.g. Fig. 4's load/compute/write split, Fig. 5's solver vs
+// get_hermitian split) and totals (the x-axis of the Fig. 6/8 convergence
+// plots).
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace cumf::gpusim {
+
+class SimClock {
+ public:
+  /// Adds `seconds` of simulated time to the bucket named `kernel`.
+  void charge(const std::string& kernel, double seconds);
+
+  /// Total simulated seconds across all kernels.
+  double total() const noexcept { return total_; }
+
+  /// Simulated seconds charged to one kernel (0 if never charged).
+  double of(const std::string& kernel) const;
+
+  const std::map<std::string, double>& breakdown() const noexcept {
+    return buckets_;
+  }
+
+  void reset();
+
+ private:
+  std::map<std::string, double> buckets_;
+  double total_ = 0.0;
+};
+
+}  // namespace cumf::gpusim

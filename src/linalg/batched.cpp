@@ -1,0 +1,31 @@
+#include "linalg/batched.hpp"
+
+#include "common/check.hpp"
+#include "linalg/gemm.hpp"
+
+namespace cumf {
+
+void gemm_batched(std::size_t batch, std::size_t m, std::size_t n,
+                  std::size_t k, std::span<const real_t> a,
+                  std::span<const real_t> b, std::span<real_t> c,
+                  ThreadPool* pool) {
+  CUMF_EXPECTS(a.size() == batch * m * k, "gemm_batched: A batch shape");
+  CUMF_EXPECTS(b.size() == batch * k * n, "gemm_batched: B batch shape");
+  CUMF_EXPECTS(c.size() == batch * m * n, "gemm_batched: C batch shape");
+
+  const auto run = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      gemm(m, n, k, real_t{1}, a.subspan(i * m * k, m * k),
+           b.subspan(i * k * n, k * n), real_t{0},
+           c.subspan(i * m * n, m * n));
+    }
+  };
+  if (pool == nullptr || batch < 2) {
+    run(0, batch);
+    return;
+  }
+  pool->parallel_for(batch, [&](std::size_t begin, std::size_t end,
+                                std::size_t) { run(begin, end); });
+}
+
+}  // namespace cumf

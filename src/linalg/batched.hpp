@@ -1,0 +1,23 @@
+// Batched dense GEMM — the host-side analogue of cuBLAS gemmBatched (the
+// Fig. 7a comparison baseline).
+//
+// All batches are stored contiguously: matrix i of an m×k batch lives at
+// data + i*m*k. The batch can optionally run on a thread pool; results are
+// identical to the serial loop because every problem is independent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+
+namespace cumf {
+
+/// C_i ← A_i · B_i for i in [0, batch); A: m×k, B: k×n, C: m×n each.
+void gemm_batched(std::size_t batch, std::size_t m, std::size_t n,
+                  std::size_t k, std::span<const real_t> a,
+                  std::span<const real_t> b, std::span<real_t> c,
+                  ThreadPool* pool = nullptr);
+
+}  // namespace cumf

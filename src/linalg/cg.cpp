@@ -1,0 +1,26 @@
+#include "linalg/cg.hpp"
+
+namespace cumf {
+
+double dot_d(std::span<const real_t> a, std::span<const real_t> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+template CgResult cg_solve<float>(std::size_t, std::span<const float>,
+                                  std::span<const real_t>, std::span<real_t>,
+                                  std::uint32_t, real_t);
+template CgResult cg_solve<half>(std::size_t, std::span<const half>,
+                                 std::span<const real_t>, std::span<real_t>,
+                                 std::uint32_t, real_t);
+template CgResult pcg_solve<float>(std::size_t, std::span<const float>,
+                                   std::span<const real_t>,
+                                   std::span<real_t>, std::uint32_t, real_t);
+template CgResult pcg_solve<half>(std::size_t, std::span<const half>,
+                                  std::span<const real_t>, std::span<real_t>,
+                                  std::uint32_t, real_t);
+
+}  // namespace cumf

@@ -1,0 +1,211 @@
+// Approximate conjugate-gradient solver (paper Algorithm 1).
+//
+// This is the approximate-computing half of the paper's contribution: solving
+// A x = b with at most `fs` CG iterations costs O(fs·f²) instead of the LU
+// solver's O(f³); with fs ≪ f (the paper uses fs = 6 for f = 100) the ALS
+// epoch becomes 4x faster at the same final accuracy. The matrix A may be
+// stored in FP32 or FP16 — FP16 halves the bytes read by the dominant A·p
+// matvec (Solution 4), which doubles the effective memory bandwidth of this
+// memory-bound kernel. All arithmetic is performed in FP32 regardless of the
+// storage type, matching the GPU implementation.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "half/half.hpp"
+
+namespace cumf {
+
+/// Outcome of one cg_solve call; also feeds the roofline bookkeeping.
+struct CgResult {
+  std::uint32_t iterations = 0;  ///< CG steps actually taken (≤ fs)
+  double residual_norm = 0.0;    ///< ‖b − A·x‖ proxy: √(rᵀr) at exit
+  bool converged = false;        ///< true if tolerance reached before fs
+};
+
+/// Storage-precision conversion: float passes through, half widens.
+inline float load_as_float(float v) noexcept { return v; }
+inline float load_as_float(half v) noexcept { return static_cast<float>(v); }
+
+/// Double-accumulated dot product on real_t spans (internal helper).
+double dot_d(std::span<const real_t> a, std::span<const real_t> b);
+
+/// Solves A·x = b for symmetric positive definite A (n×n row-major, full
+/// storage, element type T ∈ {float, half}). `x` holds the initial guess on
+/// entry (warm start from the previous ALS sweep is the intended use) and the
+/// solution on exit.
+///
+/// fs: maximum iterations (paper's truncation knob). eps: tolerance on
+/// √(rᵀr) (Algorithm 1 line 7).
+template <typename T>
+CgResult cg_solve(std::size_t n, std::span<const T> a,
+                  std::span<const real_t> b, std::span<real_t> x,
+                  std::uint32_t fs, real_t eps) {
+  CUMF_EXPECTS(a.size() == n * n, "cg: A must be n*n");
+  CUMF_EXPECTS(b.size() == n && x.size() == n, "cg: vector size mismatch");
+  CUMF_EXPECTS(fs > 0, "cg: need at least one iteration");
+
+  // Workspace kept as locals: n is the latent dimension f (≤ a few hundred),
+  // so this mirrors the GPU version's shared-memory scratch.
+  std::vector<real_t> r(n);
+  std::vector<real_t> p(n);
+  std::vector<real_t> ap(n);
+
+  const auto matvec = [&](std::span<const real_t> in, std::span<real_t> out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      const T* row = a.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        acc += static_cast<double>(load_as_float(row[j])) *
+               static_cast<double>(in[j]);
+      }
+      out[i] = static_cast<real_t>(acc);
+    }
+  };
+
+  // r = b − A·x; p = r; rsold = rᵀr   (Algorithm 1, line 2)
+  matvec(x, r);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - r[i];
+    p[i] = r[i];
+  }
+  double rsold = dot_d(r, r);
+
+  CgResult result;
+  result.residual_norm = std::sqrt(rsold);
+  if (result.residual_norm < static_cast<double>(eps)) {
+    result.converged = true;
+    return result;
+  }
+
+  for (std::uint32_t j = 0; j < fs; ++j) {
+    matvec(p, ap);                              // ap = A·p (line 4)
+    const double pap = dot_d(p, ap);
+    if (pap <= 0.0) {
+      break;  // loss of positive definiteness under rounding: stop early
+    }
+    const double alpha = rsold / pap;
+    for (std::size_t i = 0; i < n; ++i) {       // line 5
+      x[i] += static_cast<real_t>(alpha) * p[i];
+      r[i] -= static_cast<real_t>(alpha) * ap[i];
+    }
+    const double rsnew = dot_d(r, r);           // line 6
+    ++result.iterations;
+    result.residual_norm = std::sqrt(rsnew);
+    if (result.residual_norm < static_cast<double>(eps)) {  // line 7
+      result.converged = true;
+      return result;
+    }
+    const double beta = rsnew / rsold;
+    for (std::size_t i = 0; i < n; ++i) {       // line 10
+      p[i] = r[i] + static_cast<real_t>(beta) * p[i];
+    }
+    rsold = rsnew;
+  }
+  return result;
+}
+
+/// Jacobi-preconditioned CG: solves M⁻¹A x = M⁻¹b with M = diag(A).
+/// For ALS the Hermitian matrices are diagonally dominant-ish once the
+/// λ·n_u ridge is added, so the preconditioner shrinks the iteration count
+/// when θ columns have very unequal norms (an extension beyond the paper,
+/// ablated in bench_ablation). Interface matches cg_solve.
+template <typename T>
+CgResult pcg_solve(std::size_t n, std::span<const T> a,
+                   std::span<const real_t> b, std::span<real_t> x,
+                   std::uint32_t fs, real_t eps) {
+  CUMF_EXPECTS(a.size() == n * n, "pcg: A must be n*n");
+  CUMF_EXPECTS(b.size() == n && x.size() == n, "pcg: vector size mismatch");
+  CUMF_EXPECTS(fs > 0, "pcg: need at least one iteration");
+
+  std::vector<real_t> r(n);
+  std::vector<real_t> z(n);
+  std::vector<real_t> p(n);
+  std::vector<real_t> ap(n);
+  std::vector<real_t> inv_diag(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = load_as_float(a[i * n + i]);
+    CUMF_EXPECTS(d > 0, "pcg: non-positive diagonal (A not SPD)");
+    inv_diag[i] = real_t{1} / d;
+  }
+
+  const auto matvec = [&](std::span<const real_t> in, std::span<real_t> out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      const T* row = a.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        acc += static_cast<double>(load_as_float(row[j])) *
+               static_cast<double>(in[j]);
+      }
+      out[i] = static_cast<real_t>(acc);
+    }
+  };
+
+  matvec(x, r);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - r[i];
+    z[i] = inv_diag[i] * r[i];
+    p[i] = z[i];
+  }
+  double rz_old = dot_d(r, z);
+
+  CgResult result;
+  result.residual_norm = std::sqrt(dot_d(r, r));
+  if (result.residual_norm < static_cast<double>(eps)) {
+    result.converged = true;
+    return result;
+  }
+
+  for (std::uint32_t j = 0; j < fs; ++j) {
+    matvec(p, ap);
+    const double pap = dot_d(p, ap);
+    if (pap <= 0.0) {
+      break;
+    }
+    const double alpha = rz_old / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += static_cast<real_t>(alpha) * p[i];
+      r[i] -= static_cast<real_t>(alpha) * ap[i];
+    }
+    ++result.iterations;
+    result.residual_norm = std::sqrt(dot_d(r, r));
+    if (result.residual_norm < static_cast<double>(eps)) {
+      result.converged = true;
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      z[i] = inv_diag[i] * r[i];
+    }
+    const double rz_new = dot_d(r, z);
+    const double beta = rz_new / rz_old;
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = z[i] + static_cast<real_t>(beta) * p[i];
+    }
+    rz_old = rz_new;
+  }
+  return result;
+}
+
+extern template CgResult cg_solve<float>(std::size_t, std::span<const float>,
+                                         std::span<const real_t>,
+                                         std::span<real_t>, std::uint32_t,
+                                         real_t);
+extern template CgResult cg_solve<half>(std::size_t, std::span<const half>,
+                                        std::span<const real_t>,
+                                        std::span<real_t>, std::uint32_t,
+                                        real_t);
+extern template CgResult pcg_solve<float>(std::size_t, std::span<const float>,
+                                          std::span<const real_t>,
+                                          std::span<real_t>, std::uint32_t,
+                                          real_t);
+extern template CgResult pcg_solve<half>(std::size_t, std::span<const half>,
+                                         std::span<const real_t>,
+                                         std::span<real_t>, std::uint32_t,
+                                         real_t);
+
+}  // namespace cumf

@@ -1,0 +1,68 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace cumf {
+
+bool cholesky_factor(std::size_t n, std::span<real_t> a) {
+  CUMF_EXPECTS(a.size() == n * n, "cholesky: A must be n*n");
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = static_cast<double>(a[j * n + j]);
+    for (std::size_t k = 0; k < j; ++k) {
+      const double ljk = static_cast<double>(a[j * n + k]);
+      diag -= ljk * ljk;
+    }
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return false;
+    }
+    const double ljj = std::sqrt(diag);
+    a[j * n + j] = static_cast<real_t>(ljj);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = static_cast<double>(a[i * n + j]);
+      for (std::size_t k = 0; k < j; ++k) {
+        acc -= static_cast<double>(a[i * n + k]) *
+               static_cast<double>(a[j * n + k]);
+      }
+      a[i * n + j] = static_cast<real_t>(acc / ljj);
+    }
+  }
+  return true;
+}
+
+void cholesky_solve(std::size_t n, std::span<const real_t> l,
+                    std::span<const real_t> b, std::span<real_t> x) {
+  CUMF_EXPECTS(l.size() == n * n, "cholesky_solve: L must be n*n");
+  CUMF_EXPECTS(b.size() == n && x.size() == n,
+               "cholesky_solve: vector size mismatch");
+  // Forward substitution: L y = b (y stored in x).
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = static_cast<double>(b[i]);
+    for (std::size_t k = 0; k < i; ++k) {
+      acc -= static_cast<double>(l[i * n + k]) * static_cast<double>(x[k]);
+    }
+    x[i] = static_cast<real_t>(acc / static_cast<double>(l[i * n + i]));
+  }
+  // Back substitution: Lᵀ x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = static_cast<double>(x[ii]);
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      acc -= static_cast<double>(l[k * n + ii]) * static_cast<double>(x[k]);
+    }
+    x[ii] = static_cast<real_t>(acc / static_cast<double>(l[ii * n + ii]));
+  }
+}
+
+bool solve_spd(std::size_t n, std::span<const real_t> a,
+               std::span<const real_t> b, std::span<real_t> x) {
+  std::vector<real_t> scratch(a.begin(), a.end());
+  if (!cholesky_factor(n, scratch)) {
+    return false;
+  }
+  cholesky_solve(n, scratch, b, x);
+  return true;
+}
+
+}  // namespace cumf

@@ -1,0 +1,29 @@
+// Dense Cholesky factorization and solve for SPD systems.
+//
+// Every ALS normal-equation matrix A_u = Σ θ_v θ_vᵀ + λ n_u I is symmetric
+// positive definite (λ > 0 guarantees it even for empty rows), so Cholesky is
+// the natural *exact* solver. The paper benchmarks against cuBLAS batched LU;
+// we provide both so the "exact baseline" choice is itself ablatable.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace cumf {
+
+/// In-place Cholesky A = L·Lᵀ of an n×n row-major SPD matrix; the lower
+/// triangle of `a` is overwritten by L (upper triangle left untouched).
+/// Returns false if a non-positive pivot is met (A not positive definite).
+[[nodiscard]] bool cholesky_factor(std::size_t n, std::span<real_t> a);
+
+/// Solves L·Lᵀ x = b given the factor produced by cholesky_factor.
+/// `x` may alias `b`.
+void cholesky_solve(std::size_t n, std::span<const real_t> l,
+                    std::span<const real_t> b, std::span<real_t> x);
+
+/// Convenience: factor + solve on a scratch copy. Returns false if not SPD.
+[[nodiscard]] bool solve_spd(std::size_t n, std::span<const real_t> a,
+                             std::span<const real_t> b, std::span<real_t> x);
+
+}  // namespace cumf

@@ -1,0 +1,56 @@
+#include "linalg/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cumf {
+
+double dot(std::span<const real_t> a, std::span<const real_t> b) {
+  CUMF_EXPECTS(a.size() == b.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+void axpy(real_t alpha, std::span<const real_t> x, std::span<real_t> y) {
+  CUMF_EXPECTS(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void scal(real_t alpha, std::span<real_t> x) {
+  for (real_t& xi : x) {
+    xi *= alpha;
+  }
+}
+
+double nrm2(std::span<const real_t> x) { return std::sqrt(dot(x, x)); }
+
+double max_abs_diff(std::span<const real_t> a, std::span<const real_t> b) {
+  CUMF_EXPECTS(a.size() == b.size(), "max_abs_diff: size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(a[i]) -
+                                     static_cast<double>(b[i])));
+  }
+  return worst;
+}
+
+void symv(std::size_t n, std::span<const real_t> a,
+          std::span<const real_t> x, std::span<real_t> y) {
+  CUMF_EXPECTS(a.size() == n * n, "symv: A must be n*n");
+  CUMF_EXPECTS(x.size() == n && y.size() == n, "symv: vector size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    const real_t* row = a.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      acc += static_cast<double>(row[j]) * static_cast<double>(x[j]);
+    }
+    y[i] = static_cast<real_t>(acc);
+  }
+}
+
+}  // namespace cumf

@@ -1,0 +1,93 @@
+#include "linalg/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace cumf {
+
+bool lu_factor(std::size_t n, std::span<real_t> a,
+               std::span<index_t> pivots) {
+  CUMF_EXPECTS(a.size() == n * n, "lu: A must be n*n");
+  CUMF_EXPECTS(pivots.size() == n, "lu: pivot array must have n entries");
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |a_ik| for i >= k.
+    std::size_t piv = k;
+    double best = std::abs(static_cast<double>(a[k * n + k]));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double cand = std::abs(static_cast<double>(a[i * n + k]));
+      if (cand > best) {
+        best = cand;
+        piv = i;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) {
+      return false;
+    }
+    pivots[k] = static_cast<index_t>(piv);
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a[k * n + j], a[piv * n + j]);
+      }
+    }
+    const double akk = static_cast<double>(a[k * n + k]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double lik = static_cast<double>(a[i * n + k]) / akk;
+      a[i * n + k] = static_cast<real_t>(lik);
+      for (std::size_t j = k + 1; j < n; ++j) {
+        a[i * n + j] = static_cast<real_t>(
+            static_cast<double>(a[i * n + j]) -
+            lik * static_cast<double>(a[k * n + j]));
+      }
+    }
+  }
+  return true;
+}
+
+void lu_solve(std::size_t n, std::span<const real_t> lu,
+              std::span<const index_t> pivots, std::span<const real_t> b,
+              std::span<real_t> x) {
+  CUMF_EXPECTS(lu.size() == n * n, "lu_solve: factor must be n*n");
+  CUMF_EXPECTS(pivots.size() == n && b.size() == n && x.size() == n,
+               "lu_solve: size mismatch");
+  if (x.data() != b.data()) {
+    std::copy(b.begin(), b.end(), x.begin());
+  }
+  // Apply the recorded row swaps to the right-hand side.
+  for (std::size_t k = 0; k < n; ++k) {
+    const index_t piv = pivots[k];
+    if (piv != k) {
+      std::swap(x[k], x[piv]);
+    }
+  }
+  // Forward: L y = P b (L has unit diagonal).
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = static_cast<double>(x[i]);
+    for (std::size_t k = 0; k < i; ++k) {
+      acc -= static_cast<double>(lu[i * n + k]) * static_cast<double>(x[k]);
+    }
+    x[i] = static_cast<real_t>(acc);
+  }
+  // Back: U x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = static_cast<double>(x[ii]);
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      acc -= static_cast<double>(lu[ii * n + k]) * static_cast<double>(x[k]);
+    }
+    x[ii] = static_cast<real_t>(acc / static_cast<double>(lu[ii * n + ii]));
+  }
+}
+
+bool solve_lu(std::size_t n, std::span<const real_t> a,
+              std::span<const real_t> b, std::span<real_t> x) {
+  std::vector<real_t> scratch(a.begin(), a.end());
+  std::vector<index_t> pivots(n);
+  if (!lu_factor(n, scratch, pivots)) {
+    return false;
+  }
+  lu_solve(n, scratch, pivots, b, x);
+  return true;
+}
+
+}  // namespace cumf

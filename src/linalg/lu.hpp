@@ -1,0 +1,30 @@
+// Dense LU factorization with partial pivoting.
+//
+// This is the exact solver the paper benchmarks (cuBLAS batched LU,
+// LU-FP32 in Fig. 5): O(f³) per system. Works on any non-singular matrix,
+// not just SPD ones.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cumf {
+
+/// In-place LU with partial pivoting: A → L\U (unit lower, upper packed).
+/// `pivots[i]` records the row swapped into position i.
+/// Returns false if the matrix is numerically singular.
+[[nodiscard]] bool lu_factor(std::size_t n, std::span<real_t> a,
+                             std::span<index_t> pivots);
+
+/// Solves A x = b given the packed factor and pivots. `x` may alias `b`.
+void lu_solve(std::size_t n, std::span<const real_t> lu,
+              std::span<const index_t> pivots, std::span<const real_t> b,
+              std::span<real_t> x);
+
+/// Convenience: factor + solve on a scratch copy. False if singular.
+[[nodiscard]] bool solve_lu(std::size_t n, std::span<const real_t> a,
+                            std::span<const real_t> b, std::span<real_t> x);
+
+}  // namespace cumf

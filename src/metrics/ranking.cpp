@@ -1,0 +1,85 @@
+#include "metrics/ranking.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace cumf {
+
+std::vector<ScoredItem> recommend_top_k(const Matrix& x, const Matrix& theta,
+                                        const CsrMatrix& seen, index_t user,
+                                        std::size_t k) {
+  CUMF_EXPECTS(user < seen.rows(), "user out of range");
+  CUMF_EXPECTS(x.cols() == theta.cols(), "factor dimension mismatch");
+  const auto rated = seen.row_cols(user);
+  std::vector<ScoredItem> scored;
+  scored.reserve(seen.cols());
+  for (index_t v = 0; v < seen.cols(); ++v) {
+    if (std::binary_search(rated.begin(), rated.end(), v)) {
+      continue;
+    }
+    scored.push_back(
+        ScoredItem{v, static_cast<real_t>(dot(x.row(user), theta.row(v)))});
+  }
+  const std::size_t keep = std::min(k, scored.size());
+  std::partial_sort(
+      scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(keep),
+      scored.end(), [](const ScoredItem& a, const ScoredItem& b) {
+        return a.score != b.score ? a.score > b.score : a.item < b.item;
+      });
+  scored.resize(keep);
+  return scored;
+}
+
+double auc_observed_vs_random(const Matrix& x, const Matrix& theta,
+                              const CsrMatrix& observed, std::size_t samples,
+                              Rng& rng) {
+  CUMF_EXPECTS(observed.nnz() > 0, "need observed interactions");
+  CUMF_EXPECTS(samples > 0, "need at least one sample");
+  std::size_t wins = 0;
+  std::size_t ties = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    // Uniform observed pair via a uniform position in the CSR arrays.
+    const auto pos = rng.uniform_index(observed.nnz());
+    // Find its row by binary search over row_ptr.
+    const auto& ptr = observed.row_ptr();
+    const auto it = std::upper_bound(ptr.begin(), ptr.end(), pos);
+    const auto u = static_cast<index_t>(it - ptr.begin() - 1);
+    const index_t v = observed.col_idx()[pos];
+    const auto rv = static_cast<index_t>(rng.uniform_index(observed.cols()));
+    const double pos_score = dot(x.row(u), theta.row(v));
+    const double neg_score = dot(x.row(u), theta.row(rv));
+    wins += pos_score > neg_score;
+    ties += pos_score == neg_score;
+  }
+  return (static_cast<double>(wins) + 0.5 * static_cast<double>(ties)) /
+         static_cast<double>(samples);
+}
+
+double precision_at_k(const Matrix& x, const Matrix& theta,
+                      const CsrMatrix& seen, const CsrMatrix& held_out,
+                      std::size_t k) {
+  CUMF_EXPECTS(seen.rows() == held_out.rows() &&
+                   seen.cols() == held_out.cols(),
+               "seen/held-out shape mismatch");
+  CUMF_EXPECTS(k > 0, "k must be positive");
+  double total = 0.0;
+  std::size_t users = 0;
+  for (index_t u = 0; u < seen.rows(); ++u) {
+    const auto relevant = held_out.row_cols(u);
+    if (relevant.empty()) {
+      continue;
+    }
+    const auto recs = recommend_top_k(x, theta, seen, u, k);
+    std::size_t hits = 0;
+    for (const ScoredItem& r : recs) {
+      hits += std::binary_search(relevant.begin(), relevant.end(), r.item);
+    }
+    total += static_cast<double>(hits) /
+             static_cast<double>(std::min(k, relevant.size()));
+    ++users;
+  }
+  return users == 0 ? 0.0 : total / static_cast<double>(users);
+}
+
+}  // namespace cumf

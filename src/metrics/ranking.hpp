@@ -1,0 +1,44 @@
+// Ranking metrics and top-k recommendation.
+//
+// The implicit-feedback experiments (§V-F) are recommendation tasks: what
+// matters is the *order* of items, not the squared error. These helpers
+// compute top-k lists (excluding already-seen items), AUC against sampled
+// negatives, and precision@k against a held-out set.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/dense.hpp"
+#include "sparse/csr.hpp"
+
+namespace cumf {
+
+/// Items scored for one user, best first.
+struct ScoredItem {
+  index_t item = 0;
+  real_t score = 0;
+  friend bool operator==(const ScoredItem&, const ScoredItem&) = default;
+};
+
+/// Top-k unseen items for `user`: scores every column not present in
+/// `seen.row_cols(user)` with x_userᵀ θ_v and keeps the k best.
+std::vector<ScoredItem> recommend_top_k(const Matrix& x, const Matrix& theta,
+                                        const CsrMatrix& seen, index_t user,
+                                        std::size_t k);
+
+/// AUC estimate: probability that a random observed (u, v) pair outscores a
+/// random unobserved item for the same user. `samples` pairs are drawn.
+double auc_observed_vs_random(const Matrix& x, const Matrix& theta,
+                              const CsrMatrix& observed, std::size_t samples,
+                              Rng& rng);
+
+/// Mean precision@k: fraction of each user's top-k unseen recommendations
+/// that appear in that user's `held_out` row. Users with no held-out items
+/// are skipped; returns 0 if every user is skipped.
+double precision_at_k(const Matrix& x, const Matrix& theta,
+                      const CsrMatrix& seen, const CsrMatrix& held_out,
+                      std::size_t k);
+
+}  // namespace cumf

@@ -1,0 +1,41 @@
+#include "metrics/roofline.hpp"
+
+namespace cumf {
+
+AlsComplexity als_complexity(double nnz, double m, double n, int f) {
+  AlsComplexity c;
+  const double ff = f;
+  // get_hermitian: each non-zero contributes an f×f outer-product
+  // accumulation (half of it by symmetry, 2 FLOP per FMA → f² total).
+  c.hermitian_compute = nnz * ff * ff;
+  // Memory: every θ_v of a non-zero is read (Nz·f floats) and every A_u is
+  // written once per row plus b_u reads (… (m+n)·f² floats).
+  c.hermitian_memory = (nnz * ff + (m + n) * ff * ff) * 4.0;
+  // LU solve: ~2/3 f³ per system, (m+n) systems per epoch.
+  c.solve_compute = (m + n) * (2.0 / 3.0) * ff * ff * ff;
+  c.solve_memory = (m + n) * ff * ff * 4.0;
+  return c;
+}
+
+AlsComplexity als_complexity_cg(double nnz, double m, double n, int f,
+                                int fs) {
+  AlsComplexity c = als_complexity(nnz, m, n, f);
+  const double ff = f;
+  // CG: fs iterations, each dominated by one f×f matvec (2f² FLOPs), and
+  // each iteration re-reads A (f² elements).
+  c.solve_compute = (m + n) * fs * 2.0 * ff * ff;
+  c.solve_memory = (m + n) * fs * ff * ff * 4.0;
+  return c;
+}
+
+SgdComplexity sgd_complexity(double nnz, int f) {
+  SgdComplexity c;
+  const double ff = f;
+  // Per sample: predict (2f) + two factor updates (~8f) ≈ 10f FLOPs;
+  // read and write both factor rows ≈ 16f bytes.
+  c.compute = nnz * 10.0 * ff;
+  c.memory = nnz * 16.0 * ff;
+  return c;
+}
+
+}  // namespace cumf

@@ -1,0 +1,52 @@
+// Roofline bookkeeping (Williams et al.; paper Table I).
+//
+// Table I derives per-epoch compute (C) and memory (M) complexity for ALS and
+// SGD and argues from the C/M ratio that ALS is compute-bound and SGD is
+// memory-bound. These helpers compute the same quantities — both the
+// *analytic* complexity formulas and *measured* operation counters that the
+// kernels accumulate — so the bench can print predicted vs counted values.
+#pragma once
+
+#include <cstdint>
+
+namespace cumf {
+
+/// Measured operation counts accumulated by a kernel.
+struct OpCounts {
+  double flops = 0.0;
+  double bytes_read = 0.0;
+  double bytes_written = 0.0;
+
+  double bytes() const noexcept { return bytes_read + bytes_written; }
+  /// Arithmetic intensity (FLOP per byte); 0 when no traffic.
+  double intensity() const noexcept {
+    return bytes() > 0 ? flops / bytes() : 0.0;
+  }
+  OpCounts& operator+=(const OpCounts& o) noexcept {
+    flops += o.flops;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    return *this;
+  }
+};
+
+/// Analytic Table-I complexities (per epoch), in FLOPs / bytes.
+struct AlsComplexity {
+  double hermitian_compute = 0.0;  ///< O(Nz f²)
+  double hermitian_memory = 0.0;   ///< O(Nz f + (m+n) f²)
+  double solve_compute = 0.0;      ///< O((m+n) f³) for LU; O((m+n) fs f²) CG
+  double solve_memory = 0.0;       ///< O((m+n) f²)
+};
+
+AlsComplexity als_complexity(double nnz, double m, double n, int f);
+AlsComplexity als_complexity_cg(double nnz, double m, double n, int f,
+                                int fs);
+
+struct SgdComplexity {
+  double compute = 0.0;  ///< O(Nz f)
+  double memory = 0.0;   ///< O(Nz f)
+};
+
+SgdComplexity sgd_complexity(double nnz, int f);
+
+}  // namespace cumf

@@ -1,0 +1,61 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace cumf {
+
+RatingsCoo::RatingsCoo(index_t m, index_t n, std::vector<Rating> entries)
+    : m_(m), n_(n), entries_(std::move(entries)) {
+  for (const Rating& e : entries_) {
+    CUMF_EXPECTS(e.u < m_ && e.v < n_, "rating index out of bounds");
+  }
+}
+
+void RatingsCoo::add(index_t u, index_t v, real_t r) {
+  CUMF_EXPECTS(u < m_ && v < n_, "rating index out of bounds");
+  entries_.push_back(Rating{u, v, r});
+}
+
+namespace {
+bool coord_less(const Rating& a, const Rating& b) noexcept {
+  return a.u != b.u ? a.u < b.u : a.v < b.v;
+}
+}  // namespace
+
+void RatingsCoo::sort_and_dedup() {
+  std::sort(entries_.begin(), entries_.end(), coord_less);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].u == entries_[i].u &&
+        entries_[out - 1].v == entries_[i].v) {
+      entries_[out - 1].r += entries_[i].r;
+    } else {
+      entries_[out++] = entries_[i];
+    }
+  }
+  entries_.resize(out);
+}
+
+bool RatingsCoo::is_canonical() const noexcept {
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (!coord_less(entries_[i - 1], entries_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double RatingsCoo::mean_value() const noexcept {
+  if (entries_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const Rating& e : entries_) {
+    sum += static_cast<double>(e.r);
+  }
+  return sum / static_cast<double>(entries_.size());
+}
+
+}  // namespace cumf

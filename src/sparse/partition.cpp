@@ -1,0 +1,69 @@
+#include "sparse/partition.hpp"
+
+#include "common/check.hpp"
+
+namespace cumf {
+
+namespace {
+/// Maps index x in [0, extent) to its block in a partition of `blocks`
+/// near-equal ranges (the first `extent % blocks` ranges get one extra).
+index_t block_of(index_t x, index_t extent, index_t blocks) noexcept {
+  const index_t base = extent / blocks;
+  const index_t extra = extent % blocks;
+  const index_t boundary = extra * (base + 1);
+  if (x < boundary) {
+    return x / (base + 1);
+  }
+  return extra + (x - boundary) / base;
+}
+}  // namespace
+
+BlockGrid::BlockGrid(const RatingsCoo& coo, index_t row_blocks,
+                     index_t col_blocks)
+    : m_(coo.rows()), n_(coo.cols()), rb_(row_blocks), cb_(col_blocks) {
+  CUMF_EXPECTS(rb_ > 0 && cb_ > 0, "grid must have at least one block");
+  CUMF_EXPECTS(rb_ <= m_ && cb_ <= n_,
+               "more blocks than rows/columns to partition");
+  blocks_.resize(static_cast<std::size_t>(rb_) * cb_);
+  for (const Rating& e : coo.entries()) {
+    const index_t i = row_block_of(e.u);
+    const index_t j = col_block_of(e.v);
+    blocks_[static_cast<std::size_t>(i) * cb_ + j].push_back(e);
+  }
+}
+
+const std::vector<Rating>& BlockGrid::block(index_t i, index_t j) const {
+  CUMF_EXPECTS(i < rb_ && j < cb_, "block coordinate out of range");
+  return blocks_[static_cast<std::size_t>(i) * cb_ + j];
+}
+
+index_t BlockGrid::row_block_of(index_t u) const noexcept {
+  return block_of(u, m_, rb_);
+}
+
+index_t BlockGrid::col_block_of(index_t v) const noexcept {
+  return block_of(v, n_, cb_);
+}
+
+std::vector<std::vector<BlockGrid::BlockId>> BlockGrid::diagonal_schedule()
+    const {
+  CUMF_EXPECTS(rb_ == cb_, "diagonal schedule needs a square grid");
+  std::vector<std::vector<BlockId>> rounds(rb_);
+  for (index_t d = 0; d < rb_; ++d) {
+    rounds[d].reserve(rb_);
+    for (index_t i = 0; i < rb_; ++i) {
+      rounds[d].push_back(BlockId{i, static_cast<index_t>((i + d) % cb_)});
+    }
+  }
+  return rounds;
+}
+
+nnz_t BlockGrid::total_entries() const noexcept {
+  nnz_t total = 0;
+  for (const auto& b : blocks_) {
+    total += b.size();
+  }
+  return total;
+}
+
+}  // namespace cumf

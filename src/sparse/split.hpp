@@ -1,0 +1,26 @@
+// Train/test splitting of a rating matrix.
+//
+// The paper uses the providers' original splits for Netflix/YahooMusic and a
+// random 10% holdout for Hugewiki (§V-B). Our synthetic datasets use the same
+// random-holdout scheme; the splitter keeps at least one training entry per
+// row/column where possible so no factor is completely unobserved.
+#pragma once
+
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+
+namespace cumf {
+
+struct TrainTestSplit {
+  RatingsCoo train;
+  RatingsCoo test;
+};
+
+/// Randomly holds out `test_fraction` of the entries as the test set.
+/// Entries that are the last remaining observation of their row or column
+/// are kept in the training set, so every row/column with any data retains
+/// at least one training observation.
+TrainTestSplit split_holdout(const RatingsCoo& all, double test_fraction,
+                             Rng& rng);
+
+}  // namespace cumf

@@ -1,0 +1,225 @@
+// Unit tests for the common substrate: checks, RNG, thread pool, table.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace cumf {
+namespace {
+
+// ---------- check macros ----------
+
+TEST(Check, ExpectsThrowsOnViolation) {
+  EXPECT_THROW(CUMF_EXPECTS(false, "boom"), CheckError);
+  EXPECT_NO_THROW(CUMF_EXPECTS(true, "fine"));
+}
+
+TEST(Check, EnsuresThrowsWithContext) {
+  try {
+    CUMF_ENSURES(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("math broke"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+// ---------- RNG ----------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a() == b();
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, UniformIndexIsInRangeAndRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBuckets = 10;
+  std::vector<int> counts(kBuckets, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto idx = rng.uniform_index(kBuckets);
+    ASSERT_LT(idx, kBuckets);
+    ++counts[idx];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sq += z * z;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sq / kSamples, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsScalesCorrectly) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.normal(5.0, 2.0);
+  }
+  EXPECT_NEAR(sum / kSamples, 5.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng base(99);
+  Rng s0 = base.split(0);
+  Rng s1 = base.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += s0() == s1();
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Zipf, UniformWhenExponentZero) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(3);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[zipf(rng)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, 5000, 600);
+  }
+}
+
+TEST(Zipf, SkewedTowardSmallRanks) {
+  ZipfSampler zipf(1000, 1.0);
+  Rng rng(5);
+  int head = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    head += zipf(rng) < 10;
+  }
+  // With s=1, the top-10 of 1000 carry ~39% of the mass.
+  EXPECT_GT(head, kSamples / 4);
+  EXPECT_LT(head, kSamples / 2);
+}
+
+TEST(Zipf, RejectsEmptySupport) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), CheckError);
+  EXPECT_THROW(ZipfSampler(5, -0.1), CheckError);
+}
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(101);
+  pool.parallel_for(touched.size(),
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        touched[i].fetch_add(1);
+                      }
+                    });
+  for (const auto& t : touched) {
+    EXPECT_EQ(t.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) {
+    ran = true;
+  });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), CheckError);
+}
+
+// ---------- Table ----------
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, NumFormatsDigits) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Stopwatch, MeasuresNonNegativeMonotoneTime) {
+  Stopwatch sw;
+  const double t1 = sw.seconds();
+  const double t2 = sw.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace cumf

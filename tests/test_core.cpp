@@ -1,0 +1,589 @@
+// Tests for the paper's core contribution: the tiled get_hermitian kernel,
+// the pluggable solvers, the ALS engine, implicit ALS, multi-GPU ALS and the
+// kernel cost-model bridge.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/als.hpp"
+#include "core/hermitian.hpp"
+#include "core/implicit_als.hpp"
+#include "core/kernel_stats.hpp"
+#include "core/multi_gpu.hpp"
+#include "core/solver.hpp"
+#include "data/generator.hpp"
+#include "data/implicit.hpp"
+#include "metrics/rmse.hpp"
+#include "sparse/split.hpp"
+
+namespace cumf {
+namespace {
+
+SyntheticDataset small_dataset(nnz_t nnz = 6000, std::uint64_t seed = 7) {
+  SyntheticConfig cfg;
+  cfg.m = 300;
+  cfg.n = 80;
+  cfg.nnz = nnz;
+  cfg.true_rank = 4;
+  cfg.mean = 3.5;
+  cfg.signal_std = 0.7;
+  cfg.noise_std = 0.25;
+  cfg.seed = seed;
+  return generate_synthetic(cfg);
+}
+
+// ---------- get_hermitian ----------
+
+class HermitianTileSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(HermitianTileSweep, TiledMatchesReference) {
+  const auto [f, tile, bin] = GetParam();
+  SyntheticConfig cfg;
+  cfg.m = 50;
+  cfg.n = 40;
+  cfg.nnz = 800;
+  cfg.seed = 11;
+  const auto data = generate_synthetic(cfg);
+  const auto csr = CsrMatrix::from_coo(data.ratings);
+
+  Matrix theta(40, static_cast<std::size_t>(f));
+  Rng rng(5);
+  for (std::size_t v = 0; v < theta.rows(); ++v) {
+    for (std::size_t k = 0; k < theta.cols(); ++k) {
+      theta(v, k) = static_cast<real_t>(rng.normal(0.0, 1.0));
+    }
+  }
+
+  const std::size_t ff = static_cast<std::size_t>(f);
+  std::vector<real_t> a_tiled(ff * ff);
+  std::vector<real_t> b_tiled(ff);
+  std::vector<real_t> a_ref(ff * ff);
+  std::vector<real_t> b_ref(ff);
+  HermitianParams params{tile, bin};
+  HermitianWorkspace ws;
+  for (index_t u = 0; u < csr.rows(); ++u) {
+    get_hermitian_row(csr, theta, u, 0.05f, params, ws, a_tiled, b_tiled);
+    get_hermitian_row_reference(csr, theta, u, 0.05f, a_ref, b_ref);
+    const double deg = csr.row_nnz(u);
+    EXPECT_LT(max_abs_diff(a_tiled, a_ref), 1e-3 * (deg + 1.0)) << "u=" << u;
+    EXPECT_LT(max_abs_diff(b_tiled, b_ref), 1e-3 * (deg + 1.0)) << "u=" << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TileBinGrid, HermitianTileSweep,
+    ::testing::Values(std::tuple{20, 10, 32}, std::tuple{20, 5, 32},
+                      std::tuple{20, 4, 8}, std::tuple{16, 8, 4},
+                      std::tuple{24, 6, 16}, std::tuple{20, 20, 32},
+                      std::tuple{20, 2, 1}));
+
+TEST(Hermitian, OutputIsSymmetricWithRidgeDiagonal) {
+  const auto data = small_dataset(2000);
+  const auto csr = CsrMatrix::from_coo(data.ratings);
+  const std::size_t f = 20;
+  Matrix theta(csr.cols(), f, 0.5f);
+  std::vector<real_t> a(f * f);
+  std::vector<real_t> b(f);
+  HermitianWorkspace ws;
+  get_hermitian_row(csr, theta, 0, 0.1f, HermitianParams{10, 32}, ws, a, b);
+  for (std::size_t i = 0; i < f; ++i) {
+    for (std::size_t j = 0; j < f; ++j) {
+      EXPECT_EQ(a[i * f + j], a[j * f + i]);
+    }
+  }
+  // With constant θ = 0.5: off-diagonal = deg·0.25, diagonal adds λ·deg.
+  const double deg = csr.row_nnz(0);
+  EXPECT_NEAR(a[1], deg * 0.25, 1e-3);
+  EXPECT_NEAR(a[0], deg * 0.25 + 0.1 * deg, 1e-3);
+}
+
+TEST(Hermitian, EmptyRowYieldsZeroSystem) {
+  RatingsCoo coo(3, 2);
+  coo.add(0, 0, 1.0f);
+  const auto csr = CsrMatrix::from_coo(coo);
+  Matrix theta(2, 4, 1.0f);
+  std::vector<real_t> a(16, 99.0f);
+  std::vector<real_t> b(4, 99.0f);
+  HermitianWorkspace ws;
+  get_hermitian_row(csr, theta, 2, 0.1f, HermitianParams{2, 4}, ws, a, b);
+  for (const real_t v : a) {
+    EXPECT_EQ(v, 0.0f);
+  }
+  for (const real_t v : b) {
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(Hermitian, RejectsBadTile) {
+  const auto data = small_dataset(2000);
+  const auto csr = CsrMatrix::from_coo(data.ratings);
+  Matrix theta(csr.cols(), 20);
+  std::vector<real_t> a(400);
+  std::vector<real_t> b(20);
+  HermitianWorkspace ws;
+  EXPECT_THROW(get_hermitian_row(csr, theta, 0, 0.1f, HermitianParams{7, 32},
+                                 ws, a, b),
+               CheckError);
+}
+
+// ---------- SystemSolver ----------
+
+class SolverKindSweep : public ::testing::TestWithParam<SolverKind> {};
+
+TEST_P(SolverKindSweep, SolvesSpdSystem) {
+  const std::size_t f = 16;
+  Rng rng(3);
+  std::vector<real_t> m(f * f);
+  for (auto& v : m) {
+    v = static_cast<real_t>(rng.normal(0.0, 1.0));
+  }
+  std::vector<real_t> a(f * f, 0);
+  for (std::size_t i = 0; i < f; ++i) {
+    for (std::size_t j = 0; j < f; ++j) {
+      double acc = i == j ? 2.0 : 0.0;
+      for (std::size_t k = 0; k < f; ++k) {
+        acc += static_cast<double>(m[i * f + k]) *
+               static_cast<double>(m[j * f + k]);
+      }
+      a[i * f + j] = static_cast<real_t>(acc);
+    }
+  }
+  std::vector<real_t> b(f, 1.0f);
+  std::vector<real_t> x(f, 0.0f);
+
+  SolverOptions options;
+  options.kind = GetParam();
+  options.cg_fs = 64;  // enough for convergence in the exactness test
+  options.cg_eps = 1e-5f;
+  SystemSolver solver(f, options);
+  ASSERT_TRUE(solver.solve(a, b, x));
+  double worst = 0;
+  for (std::size_t i = 0; i < f; ++i) {
+    double acc = 0;
+    for (std::size_t j = 0; j < f; ++j) {
+      acc += static_cast<double>(a[i * f + j]) * static_cast<double>(x[j]);
+    }
+    worst = std::max(worst, std::abs(acc - 1.0));
+  }
+  // FP16 A storage perturbs the system itself: looser bound.
+  EXPECT_LT(worst, GetParam() == SolverKind::CgFp16 ? 0.1 : 1e-2);
+  EXPECT_EQ(solver.stats().systems, 1u);
+  EXPECT_EQ(solver.stats().failures, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SolverKindSweep,
+                         ::testing::Values(SolverKind::LuFp32,
+                                           SolverKind::CholeskyFp32,
+                                           SolverKind::CgFp32,
+                                           SolverKind::CgFp16));
+
+TEST(SystemSolver, ReportsFailureOnSingularSystem) {
+  std::vector<real_t> a{1, 1, 1, 1};  // singular
+  std::vector<real_t> b{1, 1};
+  std::vector<real_t> x{0, 0};
+  SolverOptions options;
+  options.kind = SolverKind::LuFp32;
+  SystemSolver solver(2, options);
+  EXPECT_FALSE(solver.solve(a, b, x));
+  EXPECT_EQ(solver.stats().failures, 1u);
+}
+
+TEST(SystemSolver, CgCountsIterations) {
+  std::vector<real_t> a{4, 1, 1, 3};
+  std::vector<real_t> b{1, 2};
+  std::vector<real_t> x{0, 0};
+  SolverOptions options;
+  options.kind = SolverKind::CgFp32;
+  options.cg_fs = 6;
+  SystemSolver solver(2, options);
+  ASSERT_TRUE(solver.solve(a, b, x));
+  EXPECT_GE(solver.stats().cg_iterations, 1u);
+  EXPECT_LE(solver.stats().cg_iterations, 6u);
+}
+
+// ---------- AlsEngine ----------
+
+TEST(Als, RmseDecreasesAndReachesNoiseFloor) {
+  const auto data = small_dataset(8000);
+  Rng rng(17);
+  const auto split = split_holdout(data.ratings, 0.1, rng);
+
+  AlsOptions options;
+  options.f = 16;
+  options.lambda = 0.05f;
+  options.solver.kind = SolverKind::CgFp32;
+  options.solver.cg_fs = 6;
+  AlsEngine als(split.train, options);
+
+  double prev = 1e9;
+  double best = 1e9;
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    als.run_epoch();
+    const double test =
+        rmse(split.test, als.user_factors(), als.item_factors());
+    best = std::min(best, test);
+    if (epoch >= 2) {
+      EXPECT_LT(test, prev * 1.10) << "diverging at epoch " << epoch;
+    }
+    prev = test;
+  }
+  // Must approach the irreducible noise (within 50%: small test set, wide
+  // f relative to the row degree, regularization bias).
+  EXPECT_LT(best, data.noise_floor_rmse * 1.5);
+}
+
+TEST(Als, CgMatchesLuFinalAccuracy) {
+  // The paper's central accuracy claim: truncated CG (fs=6) converges to
+  // the same RMSE as the exact LU solver.
+  const auto data = small_dataset(8000, 23);
+  Rng rng(19);
+  const auto split = split_holdout(data.ratings, 0.1, rng);
+
+  const auto run = [&](SolverKind kind) {
+    AlsOptions options;
+    options.f = 16;
+    options.lambda = 0.05f;
+    options.solver.kind = kind;
+    options.solver.cg_fs = 6;
+    AlsEngine als(split.train, options);
+    for (int epoch = 0; epoch < 10; ++epoch) {
+      als.run_epoch();
+    }
+    return rmse(split.test, als.user_factors(), als.item_factors());
+  };
+
+  const double lu = run(SolverKind::LuFp32);
+  const double cg32 = run(SolverKind::CgFp32);
+  const double cg16 = run(SolverKind::CgFp16);
+  EXPECT_NEAR(cg32, lu, 0.02 * lu);
+  EXPECT_NEAR(cg16, lu, 0.04 * lu);  // FP16: slightly looser, still converged
+}
+
+TEST(Als, TiledAndReferenceHermitianGiveSameTrajectory) {
+  const auto data = small_dataset(5000, 29);
+  AlsOptions tiled;
+  tiled.f = 16;
+  tiled.solver.kind = SolverKind::CholeskyFp32;
+  auto plain = tiled;
+  plain.tiled_hermitian = false;
+
+  AlsEngine a(data.ratings, tiled);
+  AlsEngine b(data.ratings, plain);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    a.run_epoch();
+    b.run_epoch();
+  }
+  const double ra = rmse(data.ratings, a.user_factors(), a.item_factors());
+  const double rb = rmse(data.ratings, b.user_factors(), b.item_factors());
+  EXPECT_NEAR(ra, rb, 1e-3);
+}
+
+TEST(Als, HandlesRowsAndColsWithNoTrainingData) {
+  RatingsCoo coo(5, 4);
+  coo.add(0, 0, 4.0f);
+  coo.add(1, 0, 3.0f);
+  coo.add(0, 1, 5.0f);
+  // rows 2-4 and cols 2-3 unobserved
+  AlsOptions options;
+  options.f = 4;
+  AlsEngine als(coo, options);
+  als.run_epoch();
+  als.run_epoch();
+  for (const real_t v : als.user_factors().data()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  for (const real_t v : als.item_factors().data()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Als, MeasuredOpsMatchAnalyticComplexity) {
+  const auto data = small_dataset(6000, 31);
+  AlsOptions options;
+  options.f = 16;
+  options.solver.kind = SolverKind::CgFp32;
+  options.solver.cg_fs = 6;
+  AlsEngine als(data.ratings, options);
+  als.run_epoch();
+  const double f = 16;
+  const double nnz = static_cast<double>(data.ratings.nnz());
+  // Hermitian FLOPs = 2·Nz·(f² + 2f) (both half-sweeps).
+  const double expected = 2.0 * nnz * (f * f + 2.0 * f);
+  EXPECT_NEAR(als.hermitian_ops_per_epoch().flops, expected,
+              0.01 * expected);
+  EXPECT_GT(als.solve_ops_per_epoch().flops, 0.0);
+}
+
+TEST(Als, PickTileDividesF) {
+  EXPECT_EQ(pick_tile(100, 10), 10);
+  EXPECT_EQ(pick_tile(16, 10), 8);
+  EXPECT_EQ(pick_tile(24, 10), 8);
+  EXPECT_EQ(pick_tile(17, 10), 1);  // prime: degenerate tile
+  EXPECT_EQ(pick_tile(40, 40), 40);
+}
+
+TEST(Als, RejectsBadOptions) {
+  const auto data = small_dataset(2000, 37);
+  AlsOptions options;
+  options.lambda = 0.0f;
+  EXPECT_THROW(AlsEngine(data.ratings, options), CheckError);
+}
+
+// ---------- implicit ALS ----------
+
+TEST(ImplicitAls, DenseLossDecreasesMonotonically) {
+  SyntheticConfig cfg;
+  cfg.m = 60;
+  cfg.n = 30;
+  cfg.nnz = 600;
+  cfg.seed = 41;
+  const auto data = generate_synthetic(cfg);
+  const auto implicit = to_implicit(data.ratings, 3.0f, 10.0);
+
+  ImplicitAlsOptions options;
+  options.f = 8;
+  options.lambda = 0.1f;
+  options.solver.kind = SolverKind::CholeskyFp32;
+  ImplicitAlsEngine engine(implicit, options);
+
+  double prev = engine.dense_loss();
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    engine.run_epoch();
+    const double loss = engine.dense_loss();
+    EXPECT_LE(loss, prev * 1.0001) << "epoch " << epoch;
+    prev = loss;
+  }
+}
+
+TEST(ImplicitAls, RanksObservedAboveUnobserved) {
+  SyntheticConfig cfg;
+  cfg.m = 80;
+  cfg.n = 40;
+  cfg.nnz = 800;
+  cfg.seed = 43;
+  const auto data = generate_synthetic(cfg);
+  const auto implicit = to_implicit(data.ratings, 3.5f, 40.0);
+
+  ImplicitAlsOptions options;
+  options.f = 8;
+  options.lambda = 0.05f;
+  ImplicitAlsEngine engine(implicit, options);
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    engine.run_epoch();
+  }
+
+  // Mean score of observed pairs must exceed mean score of random pairs.
+  const auto csr = CsrMatrix::from_coo(implicit.interactions);
+  double observed = 0.0;
+  nnz_t count = 0;
+  for (const Rating& e : implicit.interactions.entries()) {
+    observed += engine.score(e.u, e.v);
+    ++count;
+  }
+  observed /= static_cast<double>(count);
+
+  Rng rng(45);
+  double background = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    background += engine.score(
+        static_cast<index_t>(rng.uniform_index(cfg.m)),
+        static_cast<index_t>(rng.uniform_index(cfg.n)));
+  }
+  background /= 2000.0;
+  EXPECT_GT(observed, background + 0.2);
+}
+
+// ---------- multi-GPU ----------
+
+TEST(MultiGpu, PartitionCoversAllRows) {
+  const auto parts = partition_rows(103, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  index_t total = 0;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    total += parts[p].size();
+    if (p > 0) {
+      EXPECT_EQ(parts[p].begin, parts[p - 1].end);
+    }
+  }
+  EXPECT_EQ(total, 103u);
+  EXPECT_THROW(partition_rows(2, 3), CheckError);
+}
+
+TEST(MultiGpu, FourGpusMatchSingleGpuExactly) {
+  const auto data = small_dataset(4000, 47);
+  AlsOptions options;
+  options.f = 16;
+  options.solver.kind = SolverKind::CholeskyFp32;
+
+  MultiGpuAls single(data.ratings, options, 1);
+  MultiGpuAls quad(data.ratings, options, 4);
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    single.run_epoch();
+    quad.run_epoch();
+  }
+  EXPECT_EQ(single.user_factors(), quad.user_factors());
+  EXPECT_EQ(single.item_factors(), quad.item_factors());
+}
+
+TEST(MultiGpu, EpochTimeImprovesWithMoreGpus) {
+  const auto data = small_dataset(4000, 53);
+  AlsOptions options;
+  options.f = 20;
+  MultiGpuAls one(data.ratings, options, 1);
+  MultiGpuAls four(data.ratings, options, 4);
+  const auto dev = gpusim::DeviceSpec::pascal_p100();
+  const auto config = AlsKernelConfig{};
+  const double t1 = one.epoch_seconds(dev, config, gpusim::LinkSpec::nvlink());
+  const double t4 =
+      four.epoch_seconds(dev, config, gpusim::LinkSpec::nvlink());
+  EXPECT_LT(t4, t1);
+  EXPECT_GT(t4, t1 / 4.0);  // communication keeps it sublinear
+}
+
+// ---------- kernel cost-model bridge ----------
+
+TEST(KernelStats, PaperOccupancyThroughConfig) {
+  AlsKernelConfig config;  // f=100, tile=10, bin=32
+  const auto occ =
+      hermitian_occupancy(gpusim::DeviceSpec::maxwell_titan_x(), config);
+  EXPECT_EQ(occ.blocks_per_sm, 6);
+}
+
+TEST(KernelStats, Fig4LoadOrdering) {
+  // nonCoal-L1 < nonCoal-noL1 < coal for the load phase (Netflix shape).
+  const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
+  UpdateShape shape{480189, 17770, 99e6};
+  AlsKernelConfig config;
+  config.load_scheme = LoadScheme::NonCoalescedL1;
+  const double t_l1 = update_phase_times(dev, shape, config).load.seconds;
+  config.load_scheme = LoadScheme::NonCoalescedNoL1;
+  const double t_nol1 = update_phase_times(dev, shape, config).load.seconds;
+  config.load_scheme = LoadScheme::Coalesced;
+  const double t_coal = update_phase_times(dev, shape, config).load.seconds;
+  EXPECT_LT(t_l1, t_nol1);
+  EXPECT_LT(t_nol1, t_coal);
+}
+
+TEST(KernelStats, Fig4ComputeInvariantAcrossSchemes) {
+  const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
+  UpdateShape shape{480189, 17770, 99e6};
+  AlsKernelConfig a;
+  a.load_scheme = LoadScheme::Coalesced;
+  AlsKernelConfig b;
+  b.load_scheme = LoadScheme::NonCoalescedL1;
+  EXPECT_DOUBLE_EQ(update_phase_times(dev, shape, a).compute.seconds,
+                   update_phase_times(dev, shape, b).compute.seconds);
+}
+
+TEST(KernelStats, Fig5SolverOrdering) {
+  // LU-FP32 ≫ CG-FP32 > CG-FP16 (paper: 4x and 2x).
+  const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
+  UpdateShape shape{480189, 17770, 99e6};
+  AlsKernelConfig config;
+  config.solver = SolverKind::LuFp32;
+  const double lu = update_phase_times(dev, shape, config).solve.seconds;
+  config.solver = SolverKind::CgFp32;
+  const double cg32 = update_phase_times(dev, shape, config).solve.seconds;
+  config.solver = SolverKind::CgFp16;
+  const double cg16 = update_phase_times(dev, shape, config).solve.seconds;
+  EXPECT_GT(lu / cg32, 2.5);
+  EXPECT_NEAR(cg32 / cg16, 2.0, 0.35);
+}
+
+TEST(KernelStats, EpochFasterOnNewerDevices) {
+  AlsKernelConfig config;
+  const double k = als_epoch_seconds(gpusim::DeviceSpec::kepler_k40(),
+                                     480189, 17770, 99e6, config);
+  const double m = als_epoch_seconds(gpusim::DeviceSpec::maxwell_titan_x(),
+                                     480189, 17770, 99e6, config);
+  const double p = als_epoch_seconds(gpusim::DeviceSpec::pascal_p100(),
+                                     480189, 17770, 99e6, config);
+  EXPECT_GT(k, m);
+  EXPECT_GT(m, p);
+}
+
+TEST(KernelStats, SgdEpochMemoryBoundAndHalvedByFp16) {
+  const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
+  const double fp32 = sgd_epoch_seconds(dev, 99e6, 100, false);
+  const double fp16 = sgd_epoch_seconds(dev, 99e6, 100, true);
+  EXPECT_NEAR(fp32 / fp16, 2.0, 0.25);
+}
+
+
+// ---------- additional property sweeps & failure injection ----------
+
+class AlsLatentDimSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AlsLatentDimSweep, ConvergesForAnyF) {
+  // Includes f=17 (prime → degenerate tile of 1) and non-multiples of the
+  // default tile 10, exercising the pick_tile fallback.
+  const std::size_t f = GetParam();
+  const auto data = small_dataset(6000, 200 + f);
+  AlsOptions options;
+  options.f = f;
+  options.lambda = 0.05f;
+  options.solver.kind = SolverKind::CgFp32;
+  options.solver.cg_fs = 6;
+  AlsEngine als(data.ratings, options);
+  double first = 0;
+  double last = 0;
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    als.run_epoch();
+    const double r =
+        rmse(data.ratings, als.user_factors(), als.item_factors());
+    if (epoch == 0) {
+      first = r;
+    }
+    last = r;
+  }
+  EXPECT_LT(last, first * 1.001) << "f=" << f;
+  EXPECT_LT(last, 0.6) << "f=" << f;
+  for (const real_t v : als.user_factors().data()) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LatentDims, AlsLatentDimSweep,
+                         ::testing::Values(4, 8, 12, 17, 24, 40));
+
+TEST(Als, RejectsNonFiniteRatings) {
+  RatingsCoo coo(2, 2);
+  coo.add(0, 0, std::numeric_limits<real_t>::quiet_NaN());
+  coo.add(1, 1, 1.0f);
+  AlsOptions options;
+  options.f = 4;
+  EXPECT_THROW(AlsEngine(coo, options), CheckError);
+
+  RatingsCoo inf_coo(2, 2);
+  inf_coo.add(0, 0, std::numeric_limits<real_t>::infinity());
+  inf_coo.add(1, 1, 1.0f);
+  EXPECT_THROW(AlsEngine(inf_coo, options), CheckError);
+}
+
+TEST(KernelStats, TraceDrivenTimesAreDeterministic) {
+  const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
+  UpdateShape shape{480189, 17770, 99e6};
+  AlsKernelConfig config;
+  const auto a = update_phase_times(dev, shape, config);
+  const auto b = update_phase_times(dev, shape, config);
+  EXPECT_DOUBLE_EQ(a.load.seconds, b.load.seconds);
+  EXPECT_DOUBLE_EQ(a.total_seconds(), b.total_seconds());
+}
+
+TEST(KernelStats, EpochTimeMonotoneInProblemSize) {
+  const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
+  AlsKernelConfig config;
+  const double base = als_epoch_seconds(dev, 1e5, 1e4, 1e7, config);
+  EXPECT_LT(base, als_epoch_seconds(dev, 2e5, 1e4, 2e7, config));
+  AlsKernelConfig bigger_f = config;
+  bigger_f.f = 200;
+  bigger_f.tile = 10;
+  EXPECT_LT(base, als_epoch_seconds(dev, 1e5, 1e4, 1e7, bigger_f));
+}
+
+}  // namespace
+}  // namespace cumf

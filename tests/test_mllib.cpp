@@ -1,0 +1,134 @@
+// Tests for the Spark-MLlib-style facade (paper §VII's MLlib integration).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "data/generator.hpp"
+#include "metrics/rmse.hpp"
+#include "mllib/als.hpp"
+#include "sparse/split.hpp"
+
+namespace cumf::mllib {
+namespace {
+
+SyntheticDataset dataset(std::uint64_t seed = 11) {
+  SyntheticConfig cfg;
+  cfg.m = 400;
+  cfg.n = 150;
+  cfg.nnz = 12'000;
+  cfg.true_rank = 4;
+  cfg.mean = 3.5;
+  cfg.signal_std = 0.7;
+  cfg.noise_std = 0.25;
+  cfg.seed = seed;
+  return generate_synthetic(cfg);
+}
+
+TEST(MllibAls, BuilderValidatesParameters) {
+  Als als;
+  EXPECT_THROW(als.set_rank(0), CheckError);
+  EXPECT_THROW(als.set_reg_param(0.0), CheckError);
+  EXPECT_THROW(als.set_max_iter(0), CheckError);
+  EXPECT_THROW(als.set_alpha(-1.0), CheckError);
+  EXPECT_THROW(als.set_num_blocks(0), CheckError);
+  EXPECT_THROW(als.fit(RatingsCoo(1, 1)), CheckError);
+  als.set_rank(16).set_max_iter(5);  // chainable
+  EXPECT_EQ(als.rank(), 16);
+  EXPECT_EQ(als.max_iter(), 5);
+}
+
+TEST(MllibAls, FitExplicitReachesLowTestRmse) {
+  const auto data = dataset();
+  Rng rng(3);
+  const auto split = split_holdout(data.ratings, 0.1, rng);
+
+  const auto model = Als()
+                         .set_rank(16)
+                         .set_reg_param(0.05)
+                         .set_max_iter(8)
+                         .set_solver(SolverKind::CgFp16, 6)
+                         .fit(split.train);
+  const double r =
+      rmse(split.test, model.user_factors(), model.item_factors());
+  EXPECT_LT(r, 1.5 * data.noise_floor_rmse);
+  EXPECT_EQ(model.rank(), 16);
+}
+
+TEST(MllibAls, NumBlocksDoesNotChangeTheModel) {
+  const auto data = dataset(13);
+  const auto one = Als().set_rank(12).set_max_iter(3).set_num_blocks(1).fit(
+      data.ratings);
+  const auto four = Als().set_rank(12).set_max_iter(3).set_num_blocks(4).fit(
+      data.ratings);
+  EXPECT_EQ(one.user_factors(), four.user_factors());
+  EXPECT_EQ(one.item_factors(), four.item_factors());
+}
+
+TEST(MllibAls, TransformAlignsWithPairs) {
+  const auto data = dataset(17);
+  const auto model =
+      Als().set_rank(8).set_max_iter(3).fit(data.ratings);
+  RatingsCoo pairs(data.ratings.rows(), data.ratings.cols());
+  pairs.add(0, 1, 0.0f);
+  pairs.add(5, 2, 0.0f);
+  const auto predictions = model.transform(pairs);
+  ASSERT_EQ(predictions.size(), 2u);
+  EXPECT_EQ(predictions[0], model.predict(0, 1));
+  EXPECT_EQ(predictions[1], model.predict(5, 2));
+}
+
+TEST(MllibAls, RecommendForAllUsersExcludesSeen) {
+  const auto data = dataset(19);
+  const auto model =
+      Als().set_rank(12).set_max_iter(5).fit(data.ratings);
+  const auto recs = model.recommend_for_all_users(5);
+  ASSERT_EQ(recs.size(), data.ratings.rows());
+  const auto seen = CsrMatrix::from_coo([&] {
+    auto copy = data.ratings;
+    copy.sort_and_dedup();
+    return copy;
+  }());
+  for (index_t u = 0; u < 50; ++u) {  // spot-check the first 50 users
+    EXPECT_LE(recs[u].size(), 5u);
+    const auto rated = seen.row_cols(u);
+    for (const ScoredItem& item : recs[u]) {
+      EXPECT_FALSE(
+          std::binary_search(rated.begin(), rated.end(), item.item))
+          << "user " << u << " was recommended an already-rated item";
+    }
+  }
+}
+
+TEST(MllibAls, ImplicitPrefsTrainsPreferenceModel) {
+  const auto data = dataset(23);
+  // Keep strong interactions only, as implicit input strength.
+  RatingsCoo interactions(data.ratings.rows(), data.ratings.cols());
+  for (const Rating& e : data.ratings.entries()) {
+    if (e.r >= 4.0f) {
+      interactions.add(e.u, e.v, e.r - 3.0f);
+    }
+  }
+  const auto model = Als()
+                         .set_rank(12)
+                         .set_reg_param(0.05)
+                         .set_max_iter(6)
+                         .set_implicit_prefs(true)
+                         .set_alpha(20.0)
+                         .fit(interactions);
+  // Observed interactions outscore random pairs (preference learned).
+  Rng rng(29);
+  int wins = 0;
+  int trials = 0;
+  for (const Rating& e : interactions.entries()) {
+    if (trials >= 1000) {
+      break;
+    }
+    const auto rv =
+        static_cast<index_t>(rng.uniform_index(interactions.cols()));
+    wins += model.predict(e.u, e.v) > model.predict(e.u, rv);
+    ++trials;
+  }
+  EXPECT_GT(static_cast<double>(wins) / trials, 0.75);
+}
+
+}  // namespace
+}  // namespace cumf::mllib

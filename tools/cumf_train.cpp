@@ -1,0 +1,209 @@
+// cumf_train — command-line trainer in the spirit of LIBMF's `mf-train`.
+//
+//   cumf_train train   <ratings> <model-out> [options]
+//   cumf_train predict <model> <pairs> [--out file]
+//   cumf_train recommend <model> <ratings> <user> [-k N]
+//
+// Options for `train`:
+//   -f N           latent dimension (default 32)
+//   -l X           lambda, ALS-WR weighted regularization (default 0.05)
+//   -t N           epochs (default 10)
+//   --solver S     lu | cholesky | cg | cg16 | pcg   (default cg16)
+//   --fs N         CG truncation (default 6)
+//   --workers N    host threads (default 1)
+//   --implicit A   treat input as implicit with confidence alpha = A
+//   --movielens    input uses the u::v::r::ts format (1-based ids)
+//   --test FRAC    hold out FRAC for test RMSE reporting (default 0.1)
+//
+// Input files: triplet "u v r" lines by default (LIBMF/NOMAD format).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "data/loaders.hpp"
+#include "data/model_io.hpp"
+#include "metrics/ranking.hpp"
+#include "metrics/rmse.hpp"
+#include "mllib/als.hpp"
+#include "sparse/split.hpp"
+
+using namespace cumf;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  cumf_train train <ratings> <model-out> [-f N] [-l X] "
+               "[-t N]\n"
+               "             [--solver lu|cholesky|cg|cg16|pcg] [--fs N]\n"
+               "             [--workers N] [--implicit ALPHA] [--movielens]\n"
+               "             [--test FRAC]\n"
+               "  cumf_train predict <model> <pairs> \n"
+               "  cumf_train recommend <model> <ratings> <user> [-k N]\n");
+  std::exit(2);
+}
+
+SolverKind parse_solver(const std::string& name) {
+  if (name == "lu") return SolverKind::LuFp32;
+  if (name == "cholesky") return SolverKind::CholeskyFp32;
+  if (name == "cg") return SolverKind::CgFp32;
+  if (name == "cg16") return SolverKind::CgFp16;
+  if (name == "pcg") return SolverKind::PcgFp32;
+  std::fprintf(stderr, "unknown solver '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+int cmd_train(int argc, char** argv) {
+  if (argc < 4) {
+    usage();
+  }
+  const std::string ratings_path = argv[2];
+  const std::string model_path = argv[3];
+  int f = 32;
+  double lambda = 0.05;
+  int epochs = 10;
+  SolverKind solver = SolverKind::CgFp16;
+  std::uint32_t fs = 6;
+  int workers = 1;
+  std::optional<double> implicit_alpha;
+  LoaderOptions loader;
+  double test_fraction = 0.1;
+
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+      }
+      return argv[++i];
+    };
+    if (arg == "-f") {
+      f = std::atoi(next());
+    } else if (arg == "-l") {
+      lambda = std::atof(next());
+    } else if (arg == "-t") {
+      epochs = std::atoi(next());
+    } else if (arg == "--solver") {
+      solver = parse_solver(next());
+    } else if (arg == "--fs") {
+      fs = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--workers") {
+      workers = std::atoi(next());
+    } else if (arg == "--implicit") {
+      implicit_alpha = std::atof(next());
+    } else if (arg == "--movielens") {
+      loader.format = RatingsFormat::MovieLens;
+      loader.one_based = true;
+    } else if (arg == "--test") {
+      test_fraction = std::atof(next());
+    } else {
+      usage();
+    }
+  }
+
+  std::printf("loading %s...\n", ratings_path.c_str());
+  const auto ratings = load_ratings_file(ratings_path, loader);
+  std::printf("  %u x %u, %llu ratings\n", ratings.rows(), ratings.cols(),
+              static_cast<unsigned long long>(ratings.nnz()));
+
+  Rng rng(1);
+  const auto split = test_fraction > 0
+                         ? split_holdout(ratings, test_fraction, rng)
+                         : TrainTestSplit{ratings, RatingsCoo(
+                                                       ratings.rows(),
+                                                       ratings.cols())};
+
+  auto als = mllib::Als()
+                 .set_rank(f)
+                 .set_reg_param(lambda)
+                 .set_max_iter(epochs)
+                 .set_num_blocks(workers)
+                 .set_solver(solver, fs);
+  if (implicit_alpha) {
+    als.set_implicit_prefs(true).set_alpha(*implicit_alpha);
+  }
+
+  Stopwatch sw;
+  const auto model = als.fit(split.train);
+  std::printf("trained %d epochs (f=%d, %s) in %.2f s\n", epochs, f,
+              to_string(solver), sw.seconds());
+  if (split.test.nnz() > 0 && !implicit_alpha) {
+    std::printf("test RMSE: %.4f\n",
+                rmse(split.test, model.user_factors(),
+                     model.item_factors()));
+  }
+  write_model_file(model_path,
+                   FactorModel{model.user_factors(), model.item_factors()});
+  std::printf("model written to %s\n", model_path.c_str());
+  return 0;
+}
+
+int cmd_predict(int argc, char** argv) {
+  if (argc < 4) {
+    usage();
+  }
+  const auto model = read_model_file(argv[2]);
+  const auto pairs = load_ratings_file(argv[3], LoaderOptions{});
+  for (const Rating& e : pairs.entries()) {
+    CUMF_EXPECTS(e.u < model.x.rows() && e.v < model.theta.rows(),
+                 "pair outside the model's shape");
+    std::printf("%u %u %.4f\n", e.u, e.v,
+                static_cast<double>(
+                    dot(model.x.row(e.u), model.theta.row(e.v))));
+  }
+  return 0;
+}
+
+int cmd_recommend(int argc, char** argv) {
+  if (argc < 5) {
+    usage();
+  }
+  const auto model = read_model_file(argv[2]);
+  auto ratings = load_ratings_file(argv[3], LoaderOptions{});
+  const auto user = static_cast<index_t>(std::atoi(argv[4]));
+  std::size_t k = 10;
+  for (int i = 5; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "-k") == 0) {
+      k = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    }
+  }
+  ratings.sort_and_dedup();
+  const auto seen = CsrMatrix::from_coo(ratings);
+  CUMF_EXPECTS(user < seen.rows(), "user outside the dataset");
+  for (const auto& item :
+       recommend_top_k(model.x, model.theta, seen, user, k)) {
+    std::printf("item %u\tscore %.4f\n", item.item,
+                static_cast<double>(item.score));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "train") {
+      return cmd_train(argc, argv);
+    }
+    if (command == "predict") {
+      return cmd_predict(argc, argv);
+    }
+    if (command == "recommend") {
+      return cmd_recommend(argc, argv);
+    }
+    usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
