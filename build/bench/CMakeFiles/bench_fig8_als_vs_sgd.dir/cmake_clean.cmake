@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_als_vs_sgd.dir/bench_fig8_als_vs_sgd.cpp.o"
+  "CMakeFiles/bench_fig8_als_vs_sgd.dir/bench_fig8_als_vs_sgd.cpp.o.d"
+  "bench_fig8_als_vs_sgd"
+  "bench_fig8_als_vs_sgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_als_vs_sgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_taxonomy.dir/bench_table5_taxonomy.cpp.o"
+  "CMakeFiles/bench_table5_taxonomy.dir/bench_table5_taxonomy.cpp.o.d"
+  "bench_table5_taxonomy"
+  "bench_table5_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

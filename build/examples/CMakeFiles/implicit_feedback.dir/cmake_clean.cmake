@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implicit_feedback.dir/implicit_feedback.cpp.o"
+  "CMakeFiles/implicit_feedback.dir/implicit_feedback.cpp.o.d"
+  "implicit_feedback"
+  "implicit_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implicit_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mllib_pipeline.dir/mllib_pipeline.cpp.o"
+  "CMakeFiles/mllib_pipeline.dir/mllib_pipeline.cpp.o.d"
+  "mllib_pipeline"
+  "mllib_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mllib_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_updates.dir/online_updates.cpp.o"
+  "CMakeFiles/online_updates.dir/online_updates.cpp.o.d"
+  "online_updates"
+  "online_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/als_plain.cpp" "src/CMakeFiles/cumf_baselines.dir/baselines/als_plain.cpp.o" "gcc" "src/CMakeFiles/cumf_baselines.dir/baselines/als_plain.cpp.o.d"
+  "/root/repo/src/baselines/bidmach_als.cpp" "src/CMakeFiles/cumf_baselines.dir/baselines/bidmach_als.cpp.o" "gcc" "src/CMakeFiles/cumf_baselines.dir/baselines/bidmach_als.cpp.o.d"
+  "/root/repo/src/baselines/ccd.cpp" "src/CMakeFiles/cumf_baselines.dir/baselines/ccd.cpp.o" "gcc" "src/CMakeFiles/cumf_baselines.dir/baselines/ccd.cpp.o.d"
+  "/root/repo/src/baselines/gpu_sgd.cpp" "src/CMakeFiles/cumf_baselines.dir/baselines/gpu_sgd.cpp.o" "gcc" "src/CMakeFiles/cumf_baselines.dir/baselines/gpu_sgd.cpp.o.d"
+  "/root/repo/src/baselines/implicit_cpu.cpp" "src/CMakeFiles/cumf_baselines.dir/baselines/implicit_cpu.cpp.o" "gcc" "src/CMakeFiles/cumf_baselines.dir/baselines/implicit_cpu.cpp.o.d"
+  "/root/repo/src/baselines/sgd_blocked.cpp" "src/CMakeFiles/cumf_baselines.dir/baselines/sgd_blocked.cpp.o" "gcc" "src/CMakeFiles/cumf_baselines.dir/baselines/sgd_blocked.cpp.o.d"
+  "/root/repo/src/baselines/sgd_common.cpp" "src/CMakeFiles/cumf_baselines.dir/baselines/sgd_common.cpp.o" "gcc" "src/CMakeFiles/cumf_baselines.dir/baselines/sgd_common.cpp.o.d"
+  "/root/repo/src/baselines/sgd_hogwild.cpp" "src/CMakeFiles/cumf_baselines.dir/baselines/sgd_hogwild.cpp.o" "gcc" "src/CMakeFiles/cumf_baselines.dir/baselines/sgd_hogwild.cpp.o.d"
+  "/root/repo/src/baselines/sgd_nomad.cpp" "src/CMakeFiles/cumf_baselines.dir/baselines/sgd_nomad.cpp.o" "gcc" "src/CMakeFiles/cumf_baselines.dir/baselines/sgd_nomad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cumf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_half.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cumf_baselines.dir/baselines/als_plain.cpp.o"
+  "CMakeFiles/cumf_baselines.dir/baselines/als_plain.cpp.o.d"
+  "CMakeFiles/cumf_baselines.dir/baselines/bidmach_als.cpp.o"
+  "CMakeFiles/cumf_baselines.dir/baselines/bidmach_als.cpp.o.d"
+  "CMakeFiles/cumf_baselines.dir/baselines/ccd.cpp.o"
+  "CMakeFiles/cumf_baselines.dir/baselines/ccd.cpp.o.d"
+  "CMakeFiles/cumf_baselines.dir/baselines/gpu_sgd.cpp.o"
+  "CMakeFiles/cumf_baselines.dir/baselines/gpu_sgd.cpp.o.d"
+  "CMakeFiles/cumf_baselines.dir/baselines/implicit_cpu.cpp.o"
+  "CMakeFiles/cumf_baselines.dir/baselines/implicit_cpu.cpp.o.d"
+  "CMakeFiles/cumf_baselines.dir/baselines/sgd_blocked.cpp.o"
+  "CMakeFiles/cumf_baselines.dir/baselines/sgd_blocked.cpp.o.d"
+  "CMakeFiles/cumf_baselines.dir/baselines/sgd_common.cpp.o"
+  "CMakeFiles/cumf_baselines.dir/baselines/sgd_common.cpp.o.d"
+  "CMakeFiles/cumf_baselines.dir/baselines/sgd_hogwild.cpp.o"
+  "CMakeFiles/cumf_baselines.dir/baselines/sgd_hogwild.cpp.o.d"
+  "CMakeFiles/cumf_baselines.dir/baselines/sgd_nomad.cpp.o"
+  "CMakeFiles/cumf_baselines.dir/baselines/sgd_nomad.cpp.o.d"
+  "libcumf_baselines.a"
+  "libcumf_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cumf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

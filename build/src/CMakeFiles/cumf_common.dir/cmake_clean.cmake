@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cumf_common.dir/common/check.cpp.o"
+  "CMakeFiles/cumf_common.dir/common/check.cpp.o.d"
+  "CMakeFiles/cumf_common.dir/common/rng.cpp.o"
+  "CMakeFiles/cumf_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/cumf_common.dir/common/stopwatch.cpp.o"
+  "CMakeFiles/cumf_common.dir/common/stopwatch.cpp.o.d"
+  "CMakeFiles/cumf_common.dir/common/table.cpp.o"
+  "CMakeFiles/cumf_common.dir/common/table.cpp.o.d"
+  "CMakeFiles/cumf_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/cumf_common.dir/common/thread_pool.cpp.o.d"
+  "libcumf_common.a"
+  "libcumf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cumf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

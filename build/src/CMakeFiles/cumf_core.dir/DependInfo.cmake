@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/als.cpp" "src/CMakeFiles/cumf_core.dir/core/als.cpp.o" "gcc" "src/CMakeFiles/cumf_core.dir/core/als.cpp.o.d"
+  "/root/repo/src/core/batched_solve.cpp" "src/CMakeFiles/cumf_core.dir/core/batched_solve.cpp.o" "gcc" "src/CMakeFiles/cumf_core.dir/core/batched_solve.cpp.o.d"
+  "/root/repo/src/core/hermitian.cpp" "src/CMakeFiles/cumf_core.dir/core/hermitian.cpp.o" "gcc" "src/CMakeFiles/cumf_core.dir/core/hermitian.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/CMakeFiles/cumf_core.dir/core/hybrid.cpp.o" "gcc" "src/CMakeFiles/cumf_core.dir/core/hybrid.cpp.o.d"
+  "/root/repo/src/core/implicit_als.cpp" "src/CMakeFiles/cumf_core.dir/core/implicit_als.cpp.o" "gcc" "src/CMakeFiles/cumf_core.dir/core/implicit_als.cpp.o.d"
+  "/root/repo/src/core/kernel_stats.cpp" "src/CMakeFiles/cumf_core.dir/core/kernel_stats.cpp.o" "gcc" "src/CMakeFiles/cumf_core.dir/core/kernel_stats.cpp.o.d"
+  "/root/repo/src/core/multi_gpu.cpp" "src/CMakeFiles/cumf_core.dir/core/multi_gpu.cpp.o" "gcc" "src/CMakeFiles/cumf_core.dir/core/multi_gpu.cpp.o.d"
+  "/root/repo/src/core/selector.cpp" "src/CMakeFiles/cumf_core.dir/core/selector.cpp.o" "gcc" "src/CMakeFiles/cumf_core.dir/core/selector.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/CMakeFiles/cumf_core.dir/core/solver.cpp.o" "gcc" "src/CMakeFiles/cumf_core.dir/core/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cumf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_half.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

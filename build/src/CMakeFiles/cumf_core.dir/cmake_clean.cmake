@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cumf_core.dir/core/als.cpp.o"
+  "CMakeFiles/cumf_core.dir/core/als.cpp.o.d"
+  "CMakeFiles/cumf_core.dir/core/batched_solve.cpp.o"
+  "CMakeFiles/cumf_core.dir/core/batched_solve.cpp.o.d"
+  "CMakeFiles/cumf_core.dir/core/hermitian.cpp.o"
+  "CMakeFiles/cumf_core.dir/core/hermitian.cpp.o.d"
+  "CMakeFiles/cumf_core.dir/core/hybrid.cpp.o"
+  "CMakeFiles/cumf_core.dir/core/hybrid.cpp.o.d"
+  "CMakeFiles/cumf_core.dir/core/implicit_als.cpp.o"
+  "CMakeFiles/cumf_core.dir/core/implicit_als.cpp.o.d"
+  "CMakeFiles/cumf_core.dir/core/kernel_stats.cpp.o"
+  "CMakeFiles/cumf_core.dir/core/kernel_stats.cpp.o.d"
+  "CMakeFiles/cumf_core.dir/core/multi_gpu.cpp.o"
+  "CMakeFiles/cumf_core.dir/core/multi_gpu.cpp.o.d"
+  "CMakeFiles/cumf_core.dir/core/selector.cpp.o"
+  "CMakeFiles/cumf_core.dir/core/selector.cpp.o.d"
+  "CMakeFiles/cumf_core.dir/core/solver.cpp.o"
+  "CMakeFiles/cumf_core.dir/core/solver.cpp.o.d"
+  "libcumf_core.a"
+  "libcumf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cumf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

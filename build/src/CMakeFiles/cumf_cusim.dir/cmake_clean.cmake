@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cumf_cusim.dir/cusim/cusim.cpp.o"
+  "CMakeFiles/cumf_cusim.dir/cusim/cusim.cpp.o.d"
+  "CMakeFiles/cumf_cusim.dir/cusim/kernels.cpp.o"
+  "CMakeFiles/cumf_cusim.dir/cusim/kernels.cpp.o.d"
+  "libcumf_cusim.a"
+  "libcumf_cusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cumf_cusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/generator.cpp" "src/CMakeFiles/cumf_data.dir/data/generator.cpp.o" "gcc" "src/CMakeFiles/cumf_data.dir/data/generator.cpp.o.d"
+  "/root/repo/src/data/implicit.cpp" "src/CMakeFiles/cumf_data.dir/data/implicit.cpp.o" "gcc" "src/CMakeFiles/cumf_data.dir/data/implicit.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/CMakeFiles/cumf_data.dir/data/io.cpp.o" "gcc" "src/CMakeFiles/cumf_data.dir/data/io.cpp.o.d"
+  "/root/repo/src/data/loaders.cpp" "src/CMakeFiles/cumf_data.dir/data/loaders.cpp.o" "gcc" "src/CMakeFiles/cumf_data.dir/data/loaders.cpp.o.d"
+  "/root/repo/src/data/model_io.cpp" "src/CMakeFiles/cumf_data.dir/data/model_io.cpp.o" "gcc" "src/CMakeFiles/cumf_data.dir/data/model_io.cpp.o.d"
+  "/root/repo/src/data/presets.cpp" "src/CMakeFiles/cumf_data.dir/data/presets.cpp.o" "gcc" "src/CMakeFiles/cumf_data.dir/data/presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cumf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cumf_data.dir/data/generator.cpp.o"
+  "CMakeFiles/cumf_data.dir/data/generator.cpp.o.d"
+  "CMakeFiles/cumf_data.dir/data/implicit.cpp.o"
+  "CMakeFiles/cumf_data.dir/data/implicit.cpp.o.d"
+  "CMakeFiles/cumf_data.dir/data/io.cpp.o"
+  "CMakeFiles/cumf_data.dir/data/io.cpp.o.d"
+  "CMakeFiles/cumf_data.dir/data/loaders.cpp.o"
+  "CMakeFiles/cumf_data.dir/data/loaders.cpp.o.d"
+  "CMakeFiles/cumf_data.dir/data/model_io.cpp.o"
+  "CMakeFiles/cumf_data.dir/data/model_io.cpp.o.d"
+  "CMakeFiles/cumf_data.dir/data/presets.cpp.o"
+  "CMakeFiles/cumf_data.dir/data/presets.cpp.o.d"
+  "libcumf_data.a"
+  "libcumf_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cumf_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

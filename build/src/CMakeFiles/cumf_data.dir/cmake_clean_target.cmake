@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcumf_data.a"
+)

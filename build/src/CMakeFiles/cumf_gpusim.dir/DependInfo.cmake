@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/cache.cpp" "src/CMakeFiles/cumf_gpusim.dir/gpusim/cache.cpp.o" "gcc" "src/CMakeFiles/cumf_gpusim.dir/gpusim/cache.cpp.o.d"
+  "/root/repo/src/gpusim/cost_model.cpp" "src/CMakeFiles/cumf_gpusim.dir/gpusim/cost_model.cpp.o" "gcc" "src/CMakeFiles/cumf_gpusim.dir/gpusim/cost_model.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/CMakeFiles/cumf_gpusim.dir/gpusim/device.cpp.o" "gcc" "src/CMakeFiles/cumf_gpusim.dir/gpusim/device.cpp.o.d"
+  "/root/repo/src/gpusim/interconnect.cpp" "src/CMakeFiles/cumf_gpusim.dir/gpusim/interconnect.cpp.o" "gcc" "src/CMakeFiles/cumf_gpusim.dir/gpusim/interconnect.cpp.o.d"
+  "/root/repo/src/gpusim/occupancy.cpp" "src/CMakeFiles/cumf_gpusim.dir/gpusim/occupancy.cpp.o" "gcc" "src/CMakeFiles/cumf_gpusim.dir/gpusim/occupancy.cpp.o.d"
+  "/root/repo/src/gpusim/sim_clock.cpp" "src/CMakeFiles/cumf_gpusim.dir/gpusim/sim_clock.cpp.o" "gcc" "src/CMakeFiles/cumf_gpusim.dir/gpusim/sim_clock.cpp.o.d"
+  "/root/repo/src/gpusim/trace.cpp" "src/CMakeFiles/cumf_gpusim.dir/gpusim/trace.cpp.o" "gcc" "src/CMakeFiles/cumf_gpusim.dir/gpusim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cumf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cumf_gpusim.dir/gpusim/cache.cpp.o"
+  "CMakeFiles/cumf_gpusim.dir/gpusim/cache.cpp.o.d"
+  "CMakeFiles/cumf_gpusim.dir/gpusim/cost_model.cpp.o"
+  "CMakeFiles/cumf_gpusim.dir/gpusim/cost_model.cpp.o.d"
+  "CMakeFiles/cumf_gpusim.dir/gpusim/device.cpp.o"
+  "CMakeFiles/cumf_gpusim.dir/gpusim/device.cpp.o.d"
+  "CMakeFiles/cumf_gpusim.dir/gpusim/interconnect.cpp.o"
+  "CMakeFiles/cumf_gpusim.dir/gpusim/interconnect.cpp.o.d"
+  "CMakeFiles/cumf_gpusim.dir/gpusim/occupancy.cpp.o"
+  "CMakeFiles/cumf_gpusim.dir/gpusim/occupancy.cpp.o.d"
+  "CMakeFiles/cumf_gpusim.dir/gpusim/sim_clock.cpp.o"
+  "CMakeFiles/cumf_gpusim.dir/gpusim/sim_clock.cpp.o.d"
+  "CMakeFiles/cumf_gpusim.dir/gpusim/trace.cpp.o"
+  "CMakeFiles/cumf_gpusim.dir/gpusim/trace.cpp.o.d"
+  "libcumf_gpusim.a"
+  "libcumf_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cumf_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

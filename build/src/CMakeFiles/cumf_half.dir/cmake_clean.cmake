@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cumf_half.dir/half/half.cpp.o"
+  "CMakeFiles/cumf_half.dir/half/half.cpp.o.d"
+  "libcumf_half.a"
+  "libcumf_half.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cumf_half.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

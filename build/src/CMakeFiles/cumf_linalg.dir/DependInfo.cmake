@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/batched.cpp" "src/CMakeFiles/cumf_linalg.dir/linalg/batched.cpp.o" "gcc" "src/CMakeFiles/cumf_linalg.dir/linalg/batched.cpp.o.d"
+  "/root/repo/src/linalg/cg.cpp" "src/CMakeFiles/cumf_linalg.dir/linalg/cg.cpp.o" "gcc" "src/CMakeFiles/cumf_linalg.dir/linalg/cg.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "src/CMakeFiles/cumf_linalg.dir/linalg/cholesky.cpp.o" "gcc" "src/CMakeFiles/cumf_linalg.dir/linalg/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/dense.cpp" "src/CMakeFiles/cumf_linalg.dir/linalg/dense.cpp.o" "gcc" "src/CMakeFiles/cumf_linalg.dir/linalg/dense.cpp.o.d"
+  "/root/repo/src/linalg/gemm.cpp" "src/CMakeFiles/cumf_linalg.dir/linalg/gemm.cpp.o" "gcc" "src/CMakeFiles/cumf_linalg.dir/linalg/gemm.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/CMakeFiles/cumf_linalg.dir/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/cumf_linalg.dir/linalg/lu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cumf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_half.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cumf_linalg.dir/linalg/batched.cpp.o"
+  "CMakeFiles/cumf_linalg.dir/linalg/batched.cpp.o.d"
+  "CMakeFiles/cumf_linalg.dir/linalg/cg.cpp.o"
+  "CMakeFiles/cumf_linalg.dir/linalg/cg.cpp.o.d"
+  "CMakeFiles/cumf_linalg.dir/linalg/cholesky.cpp.o"
+  "CMakeFiles/cumf_linalg.dir/linalg/cholesky.cpp.o.d"
+  "CMakeFiles/cumf_linalg.dir/linalg/dense.cpp.o"
+  "CMakeFiles/cumf_linalg.dir/linalg/dense.cpp.o.d"
+  "CMakeFiles/cumf_linalg.dir/linalg/gemm.cpp.o"
+  "CMakeFiles/cumf_linalg.dir/linalg/gemm.cpp.o.d"
+  "CMakeFiles/cumf_linalg.dir/linalg/lu.cpp.o"
+  "CMakeFiles/cumf_linalg.dir/linalg/lu.cpp.o.d"
+  "libcumf_linalg.a"
+  "libcumf_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cumf_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

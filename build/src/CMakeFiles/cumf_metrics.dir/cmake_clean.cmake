@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cumf_metrics.dir/metrics/convergence.cpp.o"
+  "CMakeFiles/cumf_metrics.dir/metrics/convergence.cpp.o.d"
+  "CMakeFiles/cumf_metrics.dir/metrics/ranking.cpp.o"
+  "CMakeFiles/cumf_metrics.dir/metrics/ranking.cpp.o.d"
+  "CMakeFiles/cumf_metrics.dir/metrics/rmse.cpp.o"
+  "CMakeFiles/cumf_metrics.dir/metrics/rmse.cpp.o.d"
+  "CMakeFiles/cumf_metrics.dir/metrics/roofline.cpp.o"
+  "CMakeFiles/cumf_metrics.dir/metrics/roofline.cpp.o.d"
+  "libcumf_metrics.a"
+  "libcumf_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cumf_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cumf_mllib.dir/mllib/als.cpp.o"
+  "CMakeFiles/cumf_mllib.dir/mllib/als.cpp.o.d"
+  "libcumf_mllib.a"
+  "libcumf_mllib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cumf_mllib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

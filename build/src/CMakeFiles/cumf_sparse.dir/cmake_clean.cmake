@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cumf_sparse.dir/sparse/coo.cpp.o"
+  "CMakeFiles/cumf_sparse.dir/sparse/coo.cpp.o.d"
+  "CMakeFiles/cumf_sparse.dir/sparse/csr.cpp.o"
+  "CMakeFiles/cumf_sparse.dir/sparse/csr.cpp.o.d"
+  "CMakeFiles/cumf_sparse.dir/sparse/partition.cpp.o"
+  "CMakeFiles/cumf_sparse.dir/sparse/partition.cpp.o.d"
+  "CMakeFiles/cumf_sparse.dir/sparse/split.cpp.o"
+  "CMakeFiles/cumf_sparse.dir/sparse/split.cpp.o.d"
+  "libcumf_sparse.a"
+  "libcumf_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cumf_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/test_baselines.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/test_baselines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cumf_cusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_mllib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_half.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cumf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batched_schedules.dir/test_batched_schedules.cpp.o"
+  "CMakeFiles/test_batched_schedules.dir/test_batched_schedules.cpp.o.d"
+  "test_batched_schedules"
+  "test_batched_schedules.pdb"
+  "test_batched_schedules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batched_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_metrics.dir/test_data_metrics.cpp.o"
+  "CMakeFiles/test_data_metrics.dir/test_data_metrics.cpp.o.d"
+  "test_data_metrics"
+  "test_data_metrics.pdb"
+  "test_data_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

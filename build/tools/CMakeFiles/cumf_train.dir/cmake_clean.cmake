@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cumf_train.dir/cumf_train.cpp.o"
+  "CMakeFiles/cumf_train.dir/cumf_train.cpp.o.d"
+  "cumf_train"
+  "cumf_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cumf_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

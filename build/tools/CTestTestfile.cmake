@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_usage_exits_nonzero "/root/repo/build/tools/cumf_train")
+set_tests_properties(cli_usage_exits_nonzero PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_train_predict_roundtrip "sh" "-c" "    awk 'BEGIN{srand(7); n=0; while (n<2000) {u=int(rand()*200); v=int(rand()*80); r=1+rand()*4; print u, v, r; n++}}' > cli_ratings.txt &&     /root/repo/build/tools/cumf_train train cli_ratings.txt cli_model.txt -f 8 -t 3 --workers 2 &&     printf '0 1 0\\n3 2 0\\n' > cli_pairs.txt &&     /root/repo/build/tools/cumf_train predict cli_model.txt cli_pairs.txt &&     /root/repo/build/tools/cumf_train recommend cli_model.txt cli_ratings.txt 0 -k 2")
+set_tests_properties(cli_train_predict_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_missing_file "/root/repo/build/tools/cumf_train" "train" "/nonexistent/file.txt" "/tmp/out.txt")
+set_tests_properties(cli_rejects_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
