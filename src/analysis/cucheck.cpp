@@ -1,0 +1,219 @@
+#include "analysis/cucheck.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/spans.hpp"
+
+namespace cumf::analysis {
+
+const char* to_string(HazardKind kind) noexcept {
+  switch (kind) {
+    case HazardKind::WriteWrite:
+      return "write-write hazard";
+    case HazardKind::ReadWrite:
+      return "read-write hazard";
+    case HazardKind::OutOfBounds:
+      return "out-of-bounds access";
+    case HazardKind::Misaligned:
+      return "misaligned access";
+    case HazardKind::BarrierDivergence:
+      return "barrier divergence";
+  }
+  return "unknown hazard";
+}
+
+namespace {
+
+void describe_site(std::ostream& os, const AccessSite& site) {
+  os << "thread (" << site.thread.x << ',' << site.thread.y << ','
+     << site.thread.z << ')';
+}
+
+std::string race_message(HazardKind kind, const AccessSite& first,
+                         const AccessSite& second) {
+  std::ostringstream os;
+  os << "cucheck racecheck: " << to_string(kind) << " on shared buffer '"
+     << second.tag << "' at offset 0x" << std::hex << second.address
+     << std::dec << " (" << second.size << " bytes) in block ("
+     << second.block.x << ',' << second.block.y << ',' << second.block.z
+     << "): ";
+  describe_site(os, first);
+  os << (first.kind == cusim::AccessKind::Write ? " wrote, " : " read, ");
+  describe_site(os, second);
+  os << (second.kind == cusim::AccessKind::Write ? " also wrote"
+                                                 : " also read");
+  os << " with no __syncthreads() between the accesses";
+  return os.str();
+}
+
+std::uint64_t dedup_key(HazardKind kind, const char* tag_a,
+                        const char* tag_b) {
+  auto h = static_cast<std::uint64_t>(kind) + 1;
+  h = h * 1000003u ^ reinterpret_cast<std::uintptr_t>(tag_a);
+  h = h * 1000003u ^ reinterpret_cast<std::uintptr_t>(tag_b);
+  return h;
+}
+
+}  // namespace
+
+/// Racecheck state for one shared-memory byte within the current epoch.
+/// tid < 0 means "not yet touched this epoch".
+struct Checker::ByteState {
+  std::int64_t writer = -1;
+  std::int64_t reader = -1;
+  AccessSite writer_site;
+  AccessSite reader_site;
+};
+
+Checker::Checker(CheckOptions options) : options_(options) {}
+Checker::~Checker() = default;
+
+void Checker::reset_epoch() {
+  for (const std::uint32_t offset : touched_) {
+    bytes_[offset] = ByteState{};
+  }
+  touched_.clear();
+}
+
+void Checker::add_hazard(Hazard hazard) {
+  ++report_.hazards_total;
+  if (report_.hazards.size() < options_.max_hazards) {
+    report_.hazards.push_back(std::move(hazard));
+  }
+}
+
+void Checker::on_block_begin(const cusim::Dim3&, unsigned) {
+  ++report_.stats.blocks;
+  reset_epoch();
+  reported_.clear();
+}
+
+void Checker::on_barrier(const cusim::Dim3&) {
+  ++report_.stats.barriers;
+  reset_epoch();
+}
+
+void Checker::on_block_end(const cusim::Dim3&) { reset_epoch(); }
+
+void Checker::on_access(cusim::MemSpace space, cusim::AccessKind kind,
+                        const cusim::KernelCtx& ctx, std::uint64_t address,
+                        std::uint32_t size, const char* tag) {
+  const bool write = kind == cusim::AccessKind::Write;
+  if (space == cusim::MemSpace::Global) {
+    ++(write ? report_.stats.global_writes : report_.stats.global_reads);
+    return;  // racecheck models shared memory only
+  }
+  ++(write ? report_.stats.shared_writes : report_.stats.shared_reads);
+
+  const auto tid = static_cast<std::int64_t>(ctx.tid());
+  const AccessSite site{ctx.blockIdx, ctx.threadIdx, kind, address, size,
+                        tag};
+  if (address + size > bytes_.size()) {
+    bytes_.resize(address + size);
+  }
+  for (std::uint64_t b = address; b < address + size; ++b) {
+    ByteState& state = bytes_[b];
+    if (state.writer < 0 && state.reader < 0) {
+      touched_.push_back(static_cast<std::uint32_t>(b));
+    }
+    if (write) {
+      if (state.writer >= 0 && state.writer != tid) {
+        const std::uint64_t key =
+            dedup_key(HazardKind::WriteWrite, state.writer_site.tag, tag);
+        if (std::find(reported_.begin(), reported_.end(), key) ==
+            reported_.end()) {
+          reported_.push_back(key);
+          add_hazard({HazardKind::WriteWrite, state.writer_site, site,
+                      race_message(HazardKind::WriteWrite, state.writer_site,
+                                   site)});
+        }
+      }
+      if (state.reader >= 0 && state.reader != tid) {
+        const std::uint64_t key =
+            dedup_key(HazardKind::ReadWrite, state.reader_site.tag, tag);
+        if (std::find(reported_.begin(), reported_.end(), key) ==
+            reported_.end()) {
+          reported_.push_back(key);
+          add_hazard({HazardKind::ReadWrite, state.reader_site, site,
+                      race_message(HazardKind::ReadWrite, state.reader_site,
+                                   site)});
+        }
+      }
+      state.writer = tid;
+      state.writer_site = site;
+    } else {
+      if (state.writer >= 0 && state.writer != tid) {
+        const std::uint64_t key =
+            dedup_key(HazardKind::ReadWrite, state.writer_site.tag, tag);
+        if (std::find(reported_.begin(), reported_.end(), key) ==
+            reported_.end()) {
+          reported_.push_back(key);
+          add_hazard({HazardKind::ReadWrite, state.writer_site, site,
+                      race_message(HazardKind::ReadWrite, state.writer_site,
+                                   site)});
+        }
+      }
+      state.reader = tid;
+      state.reader_site = site;
+    }
+  }
+}
+
+void Checker::note_exception(const std::exception& error, HazardKind kind) {
+  Hazard hazard;
+  hazard.kind = kind;
+  hazard.message = error.what();
+  add_hazard(std::move(hazard));
+}
+
+CheckReport Checker::take_report() {
+  CheckReport out = std::move(report_);
+  report_ = CheckReport{};
+  bytes_.clear();
+  touched_.clear();
+  reported_.clear();
+  return out;
+}
+
+std::string CheckReport::summary() const {
+  std::ostringstream os;
+  if (clean()) {
+    os << "cucheck: no hazards detected\n";
+  } else {
+    os << "cucheck: " << hazards_total << " hazard"
+       << (hazards_total == 1 ? "" : "s") << " detected";
+    if (hazards_total > hazards.size()) {
+      os << " (showing first " << hazards.size() << ')';
+    }
+    os << '\n';
+    for (std::size_t i = 0; i < hazards.size(); ++i) {
+      os << "  [" << i + 1 << "] " << hazards[i].message << '\n';
+    }
+  }
+  os << "cucheck: " << stats.blocks << " blocks, " << stats.barriers
+     << " barriers; shared " << stats.shared_reads << " reads / "
+     << stats.shared_writes << " writes; global " << stats.global_reads
+     << " reads / " << stats.global_writes << " writes\n";
+  return os.str();
+}
+
+CheckReport launch_checked(cusim::LaunchConfig config,
+                           const cusim::Kernel& kernel,
+                           const CheckOptions& options) {
+  Checker checker(options);
+  config.check = &checker;
+  try {
+    cusim::launch(config, kernel);
+  } catch (const MemcheckError& error) {
+    checker.note_exception(error,
+                           error.kind() == MemcheckError::Kind::OutOfBounds
+                               ? HazardKind::OutOfBounds
+                               : HazardKind::Misaligned);
+  } catch (const cusim::BarrierDivergence& error) {
+    checker.note_exception(error, HazardKind::BarrierDivergence);
+  }
+  return checker.take_report();
+}
+
+}  // namespace cumf::analysis

@@ -1,0 +1,129 @@
+// cucheck — a compute-sanitizer-style dynamic-analysis layer for cusim
+// kernels.
+//
+// Modeled on NVIDIA's compute-sanitizer tools:
+//   * memcheck  — bounds/alignment checking, implemented by the checked
+//                 spans in analysis/spans.hpp (violations throw
+//                 MemcheckError; launch_checked converts them to hazards).
+//   * racecheck — shared-memory hazard detection. Between two consecutive
+//                 satisfied __syncthreads() barriers (one "epoch"), no
+//                 shared-memory byte may be written by one thread and
+//                 touched (read or written) by a different thread: with no
+//                 intervening barrier the device gives no ordering, so such
+//                 a pair is a write-write or read-write hazard even if the
+//                 sequential simulator happened to produce the "right"
+//                 answer.
+//
+// Like the real racecheck, this sees shared memory only: global-memory
+// conflicts between threads (same block or not) are out of scope — see
+// docs/analysis.md for the full hazard model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cusim/cusim.hpp"
+
+namespace cumf::analysis {
+
+enum class HazardKind {
+  WriteWrite,         ///< two threads wrote the same shared byte in an epoch
+  ReadWrite,          ///< one thread wrote, another read, no barrier between
+  OutOfBounds,        ///< memcheck: access past a span's extent
+  Misaligned,         ///< memcheck: span base not aligned for its type
+  BarrierDivergence,  ///< threads of a block disagreed about a barrier
+};
+
+const char* to_string(HazardKind kind) noexcept;
+
+/// One side of a hazard: which thread touched what.
+struct AccessSite {
+  cusim::Dim3 block;
+  cusim::Dim3 thread;
+  cusim::AccessKind kind = cusim::AccessKind::Read;
+  std::uint64_t address = 0;
+  std::uint32_t size = 0;
+  const char* tag = "";
+};
+
+struct Hazard {
+  HazardKind kind = HazardKind::WriteWrite;
+  AccessSite first;   ///< the earlier access (or the faulting one)
+  AccessSite second;  ///< the conflicting access; unused for memcheck kinds
+  std::string message;
+};
+
+struct CheckStats {
+  std::uint64_t shared_reads = 0;
+  std::uint64_t shared_writes = 0;
+  std::uint64_t global_reads = 0;
+  std::uint64_t global_writes = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t blocks = 0;
+};
+
+struct CheckReport {
+  std::vector<Hazard> hazards;  ///< capped at CheckOptions::max_hazards
+  std::uint64_t hazards_total = 0;  ///< including those beyond the cap
+  CheckStats stats;
+
+  bool clean() const noexcept { return hazards_total == 0; }
+  /// Multi-line human-readable report (one paragraph per hazard plus an
+  /// access/barrier census), in the spirit of compute-sanitizer output.
+  std::string summary() const;
+};
+
+struct CheckOptions {
+  std::size_t max_hazards = 64;
+};
+
+/// The racecheck state machine. Plug into cusim via LaunchConfig::check, or
+/// use launch_checked() below, which owns the whole lifecycle.
+class Checker final : public cusim::AccessObserver {
+ public:
+  explicit Checker(CheckOptions options = {});
+  ~Checker() override;
+
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+
+  void on_block_begin(const cusim::Dim3& block_idx, unsigned threads) override;
+  void on_barrier(const cusim::Dim3& block_idx) override;
+  void on_block_end(const cusim::Dim3& block_idx) override;
+  void on_access(cusim::MemSpace space, cusim::AccessKind kind,
+                 const cusim::KernelCtx& ctx, std::uint64_t address,
+                 std::uint32_t size, const char* tag) override;
+
+  /// Record an exception caught around the launch (memcheck violation or
+  /// barrier divergence) as a hazard.
+  void note_exception(const std::exception& error, HazardKind kind);
+
+  /// Finalizes and returns the report; the checker resets for reuse.
+  CheckReport take_report();
+
+ private:
+  struct ByteState;
+  void add_hazard(Hazard hazard);
+  void reset_epoch();
+
+  CheckOptions options_;
+  CheckReport report_;
+  // Racecheck state for the current epoch of the current block, keyed by
+  // shared-memory byte offset.
+  std::vector<ByteState> bytes_;
+  std::vector<std::uint32_t> touched_;  ///< offsets dirtied this epoch
+  // One report per (kind, tid pair, tag pair) per block keeps the output
+  // readable when a strided loop races on many bytes.
+  std::vector<std::uint64_t> reported_;
+};
+
+/// Runs `kernel` under a fresh Checker: the compute-sanitizer experience as
+/// one call. Memcheck violations and barrier divergence are caught and
+/// reported as hazards instead of propagating (other kernel exceptions
+/// still propagate).
+CheckReport launch_checked(cusim::LaunchConfig config,
+                           const cusim::Kernel& kernel,
+                           const CheckOptions& options = {});
+
+}  // namespace cumf::analysis

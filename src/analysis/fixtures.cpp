@@ -1,0 +1,82 @@
+#include "analysis/fixtures.hpp"
+
+#include <vector>
+
+#include "analysis/spans.hpp"
+#include "common/types.hpp"
+
+namespace cumf::analysis::fixtures {
+
+using cusim::Dim3;
+using cusim::KernelCtx;
+using cusim::LaunchConfig;
+using cusim::ThreadTask;
+
+CheckReport run_shared_race() {
+  LaunchConfig config{Dim3{1}, Dim3{8}, sizeof(real_t)};
+  return launch_checked(config, [](KernelCtx ctx) -> ThreadTask {
+    auto cell = shared_span<real_t>(ctx, 0, 1, "cell");
+    // Every thread stores its tid to the same location with no barrier or
+    // owner discipline: a classic reduction-initialization race.
+    cell[0] = static_cast<real_t>(ctx.tid());
+    co_return;
+  });
+}
+
+CheckReport run_missing_barrier() {
+  std::vector<real_t> out(16, 0);
+  LaunchConfig config{Dim3{1}, Dim3{16}, sizeof(real_t)};
+  return launch_checked(config, [&](KernelCtx ctx) -> ThreadTask {
+    auto cell = shared_span<real_t>(ctx, 0, 1, "cell");
+    auto sink = global_span<real_t>(ctx, std::span<real_t>(out), "out");
+    if (ctx.tid() == 0) {
+      cell[0] = 42;
+    }
+    // BUG: the __syncthreads() between produce and consume is missing.
+    sink[ctx.tid()] = cell(0);
+    co_return;
+  });
+}
+
+CheckReport run_oob_shared_write() {
+  LaunchConfig config{Dim3{1}, Dim3{4}, 4 * sizeof(real_t)};
+  return launch_checked(config, [](KernelCtx ctx) -> ThreadTask {
+    auto staged = shared_span<real_t>(ctx, 0, 4, "staged");
+    const unsigned t = ctx.tid();
+    staged[t] = static_cast<real_t>(t);
+    if (t == ctx.blockDim.x - 1) {
+      staged[t + 1] = 0;  // BUG: one past the end of the stage buffer
+    }
+    co_return;
+  });
+}
+
+CheckReport run_oob_global_read() {
+  std::vector<real_t> theta(6, 1.0F);
+  std::vector<real_t> out(4, 0);
+  LaunchConfig config{Dim3{1}, Dim3{4}, 0};
+  return launch_checked(config, [&](KernelCtx ctx) -> ThreadTask {
+    auto src = global_span<const real_t>(
+        ctx, std::span<const real_t>(theta), "theta");
+    auto sink = global_span<real_t>(ctx, std::span<real_t>(out), "out");
+    real_t sum = 0;
+    // BUG: the loop bound is the padded extent (8), not the true size (6).
+    for (std::size_t i = ctx.tid(); i < 8; i += ctx.blockDim.x) {
+      sum += src(i);
+    }
+    sink[ctx.tid()] = sum;
+    co_return;
+  });
+}
+
+CheckReport run_barrier_divergence() {
+  LaunchConfig config{Dim3{1}, Dim3{4}, 0};
+  return launch_checked(config, [](KernelCtx ctx) -> ThreadTask {
+    if (ctx.tid() < 2) {
+      co_await ctx.sync();  // BUG: barrier inside a tid-dependent branch
+    }
+    co_return;
+  });
+}
+
+}  // namespace cumf::analysis::fixtures

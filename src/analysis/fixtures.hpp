@@ -1,0 +1,34 @@
+// Intentionally buggy cusim kernels — cucheck's regression corpus.
+//
+// Each fixture plants one representative member of a GPU bug class (the
+// classes compute-sanitizer exists for) and runs it under launch_checked.
+// Tests assert that the resulting report names the hazard and the offending
+// thread coordinates; if a future change to the checker stops seeing one of
+// these, the corpus catches the regression.
+#pragma once
+
+#include "analysis/cucheck.hpp"
+
+namespace cumf::analysis::fixtures {
+
+/// Every thread of the block writes shared[0] in the same epoch: a
+/// write-write race.
+CheckReport run_shared_race();
+
+/// A producer/consumer kernel with the __syncthreads() omitted: thread 0
+/// writes, the rest read — a read-write hazard (and, on real hardware, a
+/// silent wrong answer).
+CheckReport run_missing_barrier();
+
+/// A staging loop whose bound is off by one: the last thread writes one
+/// element past the shared array.
+CheckReport run_oob_shared_write();
+
+/// A grid-stride read loop over a global array whose bound is the padded
+/// size, not the true size: the tail threads read past the end.
+CheckReport run_oob_global_read();
+
+/// Half the block calls __syncthreads() inside a tid-dependent branch.
+CheckReport run_barrier_divergence();
+
+}  // namespace cumf::analysis::fixtures

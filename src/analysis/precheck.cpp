@@ -1,0 +1,131 @@
+#include "analysis/precheck.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "analysis/spans.hpp"
+#include "common/check.hpp"
+#include "cusim/kernels.hpp"
+#include "gpusim/device.hpp"
+#include "sparse/coo.hpp"
+
+namespace cumf::analysis {
+
+namespace {
+
+/// Largest divisor of f not exceeding 8 — a sensible hermitian tile when the
+/// caller has no opinion.
+int pick_tile(std::size_t f) {
+  for (int t = 8; t > 1; --t) {
+    if (f % static_cast<std::size_t>(t) == 0) {
+      return t;
+    }
+  }
+  return 1;
+}
+
+/// First `rows` rows of `r` as their own CSR matrix.
+CsrMatrix head_rows(const CsrMatrix& r, index_t rows) {
+  RatingsCoo coo(rows, r.cols());
+  for (index_t u = 0; u < rows; ++u) {
+    const auto cols = r.row_cols(u);
+    const auto vals = r.row_vals(u);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      coo.add(u, cols[k], vals[k]);
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+CheckReport drain(Checker& checker) {
+  return checker.take_report();
+}
+
+}  // namespace
+
+PrecheckResult run_precheck(const CsrMatrix& r, const Matrix& theta,
+                            const PrecheckConfig& config) {
+  CUMF_EXPECTS(r.rows() > 0, "cucheck precheck needs a non-empty matrix");
+  CUMF_EXPECTS(theta.rows() == r.cols(),
+               "theta must have one row per item column of R");
+  const std::size_t f = theta.cols();
+  const int tile = config.tile > 0 ? config.tile : pick_tile(f);
+
+  const index_t rows = std::min(r.rows(), config.max_rows);
+  const CsrMatrix sub = head_rows(r, rows);
+
+  PrecheckResult result;
+
+  // Checked hermitian launch (the Fig. 2 kernel).
+  cusim::HermitianBatchResult herm;
+  {
+    Checker checker(config.check);
+    try {
+      herm = cusim::hermitian_kernel_launch(sub, theta,
+                                            config.lambda, tile, config.bin,
+                                            &checker);
+    } catch (const MemcheckError& error) {
+      checker.note_exception(error,
+                             error.kind() == MemcheckError::Kind::OutOfBounds
+                                 ? HazardKind::OutOfBounds
+                                 : HazardKind::Misaligned);
+    } catch (const cusim::BarrierDivergence& error) {
+      checker.note_exception(error, HazardKind::BarrierDivergence);
+    }
+    result.hermitian = drain(checker);
+  }
+
+  // Checked batch-CG launch (Algorithm 1) over the systems just built.
+  if (result.hermitian.clean()) {
+    std::vector<real_t> x(static_cast<std::size_t>(rows) * f, real_t{0});
+    Checker checker(config.check);
+    try {
+      cusim::cg_kernel_launch(rows, f, herm.a, herm.b, x, config.fs, 1e-4F,
+                              &checker);
+    } catch (const MemcheckError& error) {
+      checker.note_exception(error,
+                             error.kind() == MemcheckError::Kind::OutOfBounds
+                                 ? HazardKind::OutOfBounds
+                                 : HazardKind::Misaligned);
+    } catch (const cusim::BarrierDivergence& error) {
+      checker.note_exception(error, HazardKind::BarrierDivergence);
+    }
+    result.cg = drain(checker);
+  }
+
+  // Coalescing lint of the load phase, on the same rows.
+  {
+    gpusim::TraceConfig trace;
+    trace.f = static_cast<int>(f);
+    trace.bin = config.bin;
+    trace.threads_per_block = 64;
+    trace.coalesced = false;  // the paper's scheme (b), the one that lints
+    const gpusim::DeviceSpec dev = gpusim::DeviceSpec::maxwell_titan_x();
+    std::vector<std::vector<index_t>> rows_per_block;
+    const index_t lint_rows = std::min<index_t>(rows, 8);
+    rows_per_block.reserve(lint_rows);
+    for (index_t u = 0; u < lint_rows; ++u) {
+      const auto cols = sub.row_cols(u);
+      rows_per_block.emplace_back(cols.begin(), cols.end());
+    }
+    result.coalesce =
+        lint_hermitian_load(dev, trace, rows_per_block, config.coalesce);
+  }
+
+  return result;
+}
+
+std::string PrecheckResult::summary() const {
+  std::ostringstream os;
+  os << "=== cucheck precheck: hermitian kernel ===\n"
+     << hermitian.summary()
+     << "=== cucheck precheck: batch-CG kernel ===\n"
+     << cg.summary() << "=== cucheck precheck: coalescing lint ===\n"
+     << coalesce.summary()
+     << (clean() ? "cucheck precheck: PASS\n"
+                 : "cucheck precheck: HAZARDS DETECTED\n");
+  return os.str();
+}
+
+}  // namespace cumf::analysis

@@ -1,0 +1,50 @@
+// One checked ALS iteration before the real run — the `cucheck_report`
+// mode of cumf_train.
+//
+// Runs the hermitian and batch-CG cusim kernels over (a capped prefix of)
+// the training matrix with the cucheck observer attached, and lints the
+// hermitian load phase's warp-access trace for coalescing violations. The
+// result is a compute-sanitizer-style report: if it is not clean, the
+// training kernels have a shared-memory race, an out-of-bounds access, or a
+// barrier bug that a real GPU run would hit silently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/coalesce.hpp"
+#include "analysis/cucheck.hpp"
+#include "linalg/dense.hpp"
+#include "sparse/csr.hpp"
+
+namespace cumf::analysis {
+
+struct PrecheckConfig {
+  real_t lambda = 0.05F;
+  std::uint32_t fs = 6;        ///< CG truncation (paper's f_s)
+  int tile = 0;                ///< hermitian tile; 0 picks a divisor of f
+  int bin = 8;                 ///< θ columns staged per batch
+  index_t max_rows = 64;       ///< rows of R to run checked (cost cap)
+  CoalesceBudget coalesce;     ///< warp-instruction line budget
+  CheckOptions check;
+};
+
+struct PrecheckResult {
+  CheckReport hermitian;
+  CheckReport cg;
+  CoalesceReport coalesce;
+
+  /// Race/memcheck verdict. The coalescing lint is advisory and does not
+  /// gate: the paper's load scheme deliberately trades coalescing for
+  /// cache-resident reuse (Fig. 3/4), so over-budget instructions there are
+  /// the expected finding, not a bug.
+  bool clean() const noexcept { return hermitian.clean() && cg.clean(); }
+  std::string summary() const;
+};
+
+/// Runs the checked iteration. `theta` must have `r.cols()` rows; its column
+/// count is the latent dimension f.
+PrecheckResult run_precheck(const CsrMatrix& r, const Matrix& theta,
+                            const PrecheckConfig& config = {});
+
+}  // namespace cumf::analysis

@@ -1,0 +1,202 @@
+// cucheck memcheck: checked access wrappers for cusim kernels.
+//
+// SharedSpan<T> and GlobalSpan<T> are the device-side counterparts of
+// compute-sanitizer's memcheck instrumentation. Every element access is
+// bounds-checked (out-of-bounds and misaligned accesses throw MemcheckError
+// naming the offending thread's coordinates), and when the launch runs with
+// LaunchConfig::check set, every read and write is reported to the observer
+// with (thread, address, size, tag) so racecheck can build its hazard model.
+// Without an observer the spans still bounds-check — kernels written on them
+// are memory-safe by construction — but record nothing.
+//
+// Reads use operator()(i); writes (and read-modify-writes) go through the
+// proxy returned by operator[](i). This mirrors how an instrumented load and
+// an instrumented store are distinct events on the device.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <type_traits>
+
+#include "cusim/cusim.hpp"
+
+namespace cumf::analysis {
+
+/// Thrown on an out-of-bounds or misaligned checked access. The message is
+/// the hazard report: space, tag, index, extent, and thread coordinates.
+class MemcheckError : public std::runtime_error {
+ public:
+  enum class Kind { OutOfBounds, Misaligned };
+
+  MemcheckError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+namespace detail {
+
+inline void describe_thread(std::ostream& os, const cusim::KernelCtx& ctx) {
+  os << "thread (" << ctx.threadIdx.x << ',' << ctx.threadIdx.y << ','
+     << ctx.threadIdx.z << ") of block (" << ctx.blockIdx.x << ','
+     << ctx.blockIdx.y << ',' << ctx.blockIdx.z << ')';
+}
+
+[[noreturn]] inline void oob_fail(cusim::MemSpace space,
+                                  cusim::AccessKind kind,
+                                  const cusim::KernelCtx& ctx, const char* tag,
+                                  std::size_t index, std::size_t count,
+                                  std::size_t elem_size) {
+  std::ostringstream os;
+  os << "cucheck memcheck: out-of-bounds "
+     << (kind == cusim::AccessKind::Read ? "read" : "write") << " of "
+     << elem_size << " bytes on "
+     << (space == cusim::MemSpace::Shared ? "shared" : "global")
+     << " buffer '" << tag << "' at index " << index << " (extent " << count
+     << ") by ";
+  describe_thread(os, ctx);
+  throw MemcheckError(MemcheckError::Kind::OutOfBounds, os.str());
+}
+
+[[noreturn]] inline void misaligned_fail(cusim::MemSpace space,
+                                         const cusim::KernelCtx& ctx,
+                                         const char* tag,
+                                         std::uint64_t address,
+                                         std::size_t alignment) {
+  std::ostringstream os;
+  os << "cucheck memcheck: misaligned "
+     << (space == cusim::MemSpace::Shared ? "shared" : "global")
+     << " buffer '" << tag << "' at address 0x" << std::hex << address
+     << std::dec << " (requires " << alignment << "-byte alignment) in ";
+  describe_thread(os, ctx);
+  throw MemcheckError(MemcheckError::Kind::Misaligned, os.str());
+}
+
+}  // namespace detail
+
+/// A bounds- and race-checked view over one kernel buffer, bound to the
+/// accessing thread's KernelCtx. `Space` distinguishes the hazard model:
+/// shared accesses feed racecheck; global accesses are bounds-checked and
+/// counted only (matching compute-sanitizer, whose racecheck is
+/// shared-memory only).
+template <typename T, cusim::MemSpace Space>
+class CheckedSpan {
+ public:
+  using value_type = std::remove_const_t<T>;
+
+  CheckedSpan(const cusim::KernelCtx& ctx, std::span<T> data,
+              std::uint64_t base_address, const char* tag)
+      : ctx_(&ctx), data_(data), base_(base_address), tag_(tag) {}
+
+  std::size_t size() const noexcept { return data_.size(); }
+
+  /// Checked read: `x = span(i)`.
+  value_type operator()(std::size_t i) const {
+    bounds(i, cusim::AccessKind::Read);
+    record(cusim::AccessKind::Read, i);
+    return data_[i];
+  }
+
+  /// Write proxy. Converting to value_type records a read; assignment and
+  /// compound assignment record the write (compound forms also the read).
+  class Ref {
+   public:
+    Ref(const CheckedSpan* span, std::size_t i) : span_(span), i_(i) {}
+
+    /// Implicit so `real_t v = span[i];` reads like device code.
+    operator value_type() const {
+      span_->record(cusim::AccessKind::Read, i_);
+      return span_->data_[i_];
+    }
+    Ref& operator=(value_type v)
+      requires(!std::is_const_v<T>)
+    {
+      span_->record(cusim::AccessKind::Write, i_);
+      span_->data_[i_] = v;
+      return *this;
+    }
+    Ref& operator+=(value_type v)
+      requires(!std::is_const_v<T>)
+    {
+      span_->record(cusim::AccessKind::Read, i_);
+      span_->record(cusim::AccessKind::Write, i_);
+      span_->data_[i_] += v;
+      return *this;
+    }
+    Ref& operator-=(value_type v)
+      requires(!std::is_const_v<T>)
+    {
+      span_->record(cusim::AccessKind::Read, i_);
+      span_->record(cusim::AccessKind::Write, i_);
+      span_->data_[i_] -= v;
+      return *this;
+    }
+
+   private:
+    const CheckedSpan* span_;
+    std::size_t i_;
+  };
+
+  Ref operator[](std::size_t i) const {
+    bounds(i, std::is_const_v<T> ? cusim::AccessKind::Read
+                                 : cusim::AccessKind::Write);
+    return Ref(this, i);
+  }
+
+ private:
+  void bounds(std::size_t i, cusim::AccessKind kind) const {
+    if (i >= data_.size()) {
+      detail::oob_fail(Space, kind, *ctx_, tag_, i, data_.size(), sizeof(T));
+    }
+  }
+  void record(cusim::AccessKind kind, std::size_t i) const {
+    if (cusim::AccessObserver* obs = ctx_->check()) {
+      obs->on_access(Space, kind, *ctx_, base_ + i * sizeof(T),
+                     static_cast<std::uint32_t>(sizeof(T)), tag_);
+    }
+  }
+
+  const cusim::KernelCtx* ctx_;
+  std::span<T> data_;
+  std::uint64_t base_;  ///< shared: byte offset; global: virtual address
+  const char* tag_;
+};
+
+template <typename T>
+using SharedSpan = CheckedSpan<T, cusim::MemSpace::Shared>;
+template <typename T>
+using GlobalSpan = CheckedSpan<T, cusim::MemSpace::Global>;
+
+/// Typed checked view into the block's shared memory at `offset_bytes`.
+template <typename T>
+SharedSpan<T> shared_span(const cusim::KernelCtx& ctx,
+                          std::size_t offset_bytes, std::size_t count,
+                          const char* tag) {
+  if (offset_bytes % alignof(T) != 0) {
+    detail::misaligned_fail(cusim::MemSpace::Shared, ctx, tag, offset_bytes,
+                            alignof(T));
+  }
+  return SharedSpan<T>(ctx, ctx.shared_array<T>(offset_bytes, count),
+                       offset_bytes, tag);
+}
+
+/// Checked view over a global-memory buffer (any host array the kernel
+/// reads or writes).
+template <typename T>
+GlobalSpan<T> global_span(const cusim::KernelCtx& ctx, std::span<T> data,
+                          const char* tag) {
+  const auto base = reinterpret_cast<std::uint64_t>(
+      static_cast<const void*>(data.data()));
+  if (base % alignof(T) != 0) {
+    detail::misaligned_fail(cusim::MemSpace::Global, ctx, tag, base,
+                            alignof(T));
+  }
+  return GlobalSpan<T>(ctx, data, base, tag);
+}
+
+}  // namespace cumf::analysis

@@ -7,6 +7,22 @@
 
 namespace cumf {
 
+namespace {
+/// Set for the duration of worker_loop: lets wait_idle detect that it is
+/// running on one of this pool's own workers and must help drain the queue
+/// rather than block it.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+/// How many in-flight tasks this thread is currently inside (nested via
+/// helping). A thread blocked in wait_idle contributes exactly this many
+/// tasks to in_flight_ that can make no progress until wait_idle returns.
+thread_local std::size_t t_task_depth = 0;
+/// Portion of t_task_depth this thread has already accounted into
+/// waiting_depth_. Nested wait_idle frames (helping runs a task that itself
+/// waits) must only add the delta, or the outer frames get double-counted
+/// and the drained predicate can never hold.
+thread_local std::size_t t_depth_contributed = 0;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -22,10 +38,14 @@ ThreadPool::~ThreadPool() {
     std::lock_guard lock(mutex_);
     stopping_ = true;
   }
-  cv_task_.notify_all();
+  cv_.notify_all();
   for (auto& worker : workers_) {
     worker.join();
   }
+}
+
+bool ThreadPool::on_worker_thread() const noexcept {
+  return t_worker_pool == this;
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -36,12 +56,54 @@ void ThreadPool::submit(std::function<void()> task) {
     queue_.push(std::move(task));
     ++in_flight_;
   }
-  cv_task_.notify_one();
+  cv_.notify_all();
+}
+
+void ThreadPool::run_one(std::unique_lock<std::mutex>& lock) {
+  auto task = std::move(queue_.front());
+  queue_.pop();
+  lock.unlock();
+  ++t_task_depth;
+  task();
+  --t_task_depth;
+  lock.lock();
+  // The decrement happens after the task body: a task that submits
+  // follow-ups keeps in_flight_ above zero throughout, so wait_idle cannot
+  // observe a spurious idle window between parent and child. Every
+  // completion may satisfy an idle or drained-to-waiters predicate.
+  --in_flight_;
+  cv_.notify_all();
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (on_worker_thread()) {
+    // Called from inside a task (e.g. nested parallel_for): blocking would
+    // strand the queue with one fewer worker and deadlocks once every
+    // worker waits. Instead, help drain the queue, and treat the pool as
+    // idle when the only in-flight tasks are the stacks of threads blocked
+    // here (in_flight_ == waiting_depth_): those can make no progress until
+    // their wait_idle returns, and nothing else is queued or running.
+    const std::size_t contribution = t_task_depth - t_depth_contributed;
+    const std::size_t saved_contributed = t_depth_contributed;
+    waiting_depth_ += contribution;
+    t_depth_contributed = t_task_depth;
+    cv_.notify_all();  // other waiters' predicates may hold now
+    for (;;) {
+      if (!queue_.empty()) {
+        run_one(lock);
+        continue;
+      }
+      if (in_flight_ == waiting_depth_) {
+        break;
+      }
+      cv_.wait(lock);
+    }
+    waiting_depth_ -= contribution;
+    t_depth_contributed = saved_contributed;
+    return;
+  }
+  cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
 void ThreadPool::parallel_for(
@@ -64,26 +126,16 @@ void ThreadPool::parallel_for(
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
+  std::unique_lock lock(mutex_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        return;  // stopping_ and drained
-      }
-      task = std::move(queue_.front());
-      queue_.pop();
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      break;  // stopping_ and drained
     }
-    task();
-    {
-      std::lock_guard lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) {
-        cv_idle_.notify_all();
-      }
-    }
+    run_one(lock);
   }
+  t_worker_pool = nullptr;
 }
 
 }  // namespace cumf

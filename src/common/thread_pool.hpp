@@ -27,11 +27,16 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueue a task. Tasks must not throw; exceptions terminate the program
-  /// (matching the behaviour of an unhandled exception on a device).
+  /// Enqueue a task. Safe to call from worker threads (a task may submit
+  /// follow-up tasks). Tasks must not throw; exceptions terminate the
+  /// program (matching the behaviour of an unhandled exception on a
+  /// device).
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished, including tasks
+  /// submitted by other tasks while waiting. When called from a worker
+  /// thread the caller helps drain the queue instead of blocking it, so
+  /// nested parallel_for / submit+wait patterns cannot deadlock the pool.
   void wait_idle();
 
   /// Statically partition [0, n) into `size()` contiguous chunks and run
@@ -43,13 +48,25 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  bool on_worker_thread() const noexcept;
+  /// Pops and runs one task. Caller holds `lock`; the lock is released
+  /// while the task runs and re-acquired afterwards.
+  void run_one(std::unique_lock<std::mutex>& lock);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
+  mutable std::mutex mutex_;
+  /// One cv for all transitions (task available, pool idle, stopping):
+  /// submitters, workers, and helpers all wait with predicates, so the
+  /// extra wakeups are benign and no notification can be missed.
+  std::condition_variable cv_;
+  /// Tasks queued or currently executing. Reaches 0 only when the pool is
+  /// truly idle; guarded by mutex_ together with queue_.
   std::size_t in_flight_ = 0;
+  /// Sum of the task depths of worker threads currently blocked in
+  /// wait_idle. Those stack frames are in_flight_ but cannot progress, so a
+  /// helping waiter treats in_flight_ == waiting_depth_ as "drained".
+  std::size_t waiting_depth_ = 0;
   bool stopping_ = false;
 };
 

@@ -10,6 +10,9 @@ class Launcher {
   static void set_shared(KernelCtx& ctx, std::span<std::byte> shared) {
     ctx.shared_ = shared;
   }
+  static void set_check(KernelCtx& ctx, AccessObserver* check) {
+    ctx.check_ = check;
+  }
 };
 
 namespace {
@@ -29,6 +32,7 @@ void run_block(const LaunchConfig& config, const Kernel& kernel,
         ctx.blockIdx = block_idx;
         ctx.threadIdx = Dim3{x, y, z};
         Launcher::set_shared(ctx, shared);
+        Launcher::set_check(ctx, config.check);
         tasks.push_back(kernel(ctx));
       }
     }
@@ -37,6 +41,9 @@ void run_block(const LaunchConfig& config, const Kernel& kernel,
   // Drive all threads to the next barrier (or completion) repeatedly.
   // After each sweep every still-live thread must be parked at a barrier;
   // if some finished while others wait, the barrier can never be satisfied.
+  if (config.check != nullptr) {
+    config.check->on_block_begin(block_idx, threads);
+  }
   for (;;) {
     unsigned alive = 0;
     unsigned parked = 0;
@@ -51,14 +58,21 @@ void run_block(const LaunchConfig& config, const Kernel& kernel,
       }
     }
     if (alive == 0) {
+      if (config.check != nullptr) {
+        config.check->on_block_end(block_idx);
+      }
       return;  // block retired
     }
     if (parked != alive || alive != threads) {
       std::ostringstream os;
       os << "barrier divergence in block (" << block_idx.x << ','
          << block_idx.y << ',' << block_idx.z << "): " << parked << " of "
-         << threads << " threads reached __syncthreads()";
+         << threads << " threads reached __syncthreads(), "
+         << (threads - parked) << " still pending";
       throw BarrierDivergence(os.str());
+    }
+    if (config.check != nullptr) {
+      config.check->on_barrier(block_idx);
     }
   }
 }

@@ -42,6 +42,38 @@ struct Dim3 {
 /// Awaitable barrier tag: `co_await ctx.sync();` ≡ __syncthreads().
 struct Barrier {};
 
+class KernelCtx;
+
+/// Memory space of a checked access (cucheck instrumentation).
+enum class MemSpace { Shared, Global };
+
+/// Direction of a checked access.
+enum class AccessKind { Read, Write };
+
+/// Extension point for dynamic-analysis tools (src/analysis). The executor
+/// reports block lifecycle and satisfied barriers; the checked span wrappers
+/// (analysis/spans.hpp) report every individual read and write with the
+/// accessing thread's coordinates. Observers are only consulted when
+/// LaunchConfig::check is set, so unchecked launches pay nothing.
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+
+  /// A block is about to start executing (shared memory freshly zeroed).
+  virtual void on_block_begin(const Dim3& block_idx, unsigned threads) = 0;
+  /// Every live thread of the block reached __syncthreads(); the barrier is
+  /// satisfied and a new synchronization epoch begins.
+  virtual void on_barrier(const Dim3& block_idx) = 0;
+  /// All threads of the block retired.
+  virtual void on_block_end(const Dim3& block_idx) = 0;
+  /// One thread touched `size` bytes at `address` (a shared-memory byte
+  /// offset or a global virtual address, per `space`). `tag` names the
+  /// buffer in kernel source terms.
+  virtual void on_access(MemSpace space, AccessKind kind, const KernelCtx& ctx,
+                         std::uint64_t address, std::uint32_t size,
+                         const char* tag) = 0;
+};
+
 /// One device thread, as a coroutine. Threads start suspended; the executor
 /// drives them barrier-to-barrier.
 class ThreadTask {
@@ -145,9 +177,13 @@ class KernelCtx {
 
   std::size_t shared_bytes() const noexcept { return shared_.size(); }
 
+  /// The launch's observer, or nullptr when checking is off.
+  AccessObserver* check() const noexcept { return check_; }
+
  private:
   friend class Launcher;
   std::span<std::byte> shared_;
+  AccessObserver* check_ = nullptr;
 };
 
 /// A kernel is a per-thread coroutine factory (the __global__ function).
@@ -157,6 +193,10 @@ struct LaunchConfig {
   Dim3 grid;
   Dim3 block;
   std::size_t shared_bytes = 0;  ///< dynamic shared memory per block
+  /// Opt-in dynamic analysis: when set, the executor reports barriers and
+  /// block lifecycle, and checked spans report accesses. The fast path
+  /// (nullptr) is untouched.
+  AccessObserver* check = nullptr;
 };
 
 /// Executes `kernel` over the whole grid. Blocks run sequentially (their

@@ -25,16 +25,21 @@ struct HermitianBatchResult {
 /// get_hermitian over every row of `r`: one block per row, one thread per
 /// lower-triangular tile pair, θ batches staged through shared memory with
 /// __syncthreads() between staging and accumulation (the Fig. 2 kernel).
+/// All memory traffic goes through cucheck's checked spans; pass `check`
+/// (see analysis/cucheck.hpp) to run the launch under race/memcheck.
 HermitianBatchResult hermitian_kernel_launch(const CsrMatrix& r,
                                              const Matrix& theta,
                                              real_t lambda, int tile,
-                                             int bin);
+                                             int bin,
+                                             AccessObserver* check = nullptr);
 
 /// Batch CG (Algorithm 1): one block per system, one thread per row of A,
 /// dot products via shared-memory tree reduction. A is f×f per system
 /// (batch-contiguous); x carries warm starts and receives solutions.
+/// `check` as above.
 void cg_kernel_launch(std::size_t batch, std::size_t f,
                       std::span<const real_t> a, std::span<const real_t> b,
-                      std::span<real_t> x, std::uint32_t fs, real_t eps);
+                      std::span<real_t> x, std::uint32_t fs, real_t eps,
+                      AccessObserver* check = nullptr);
 
 }  // namespace cumf::cusim

@@ -8,25 +8,24 @@ namespace cumf::gpusim {
 
 namespace {
 
-/// One warp-wide memory instruction: the set of distinct line addresses it
-/// touches (1 for a fully coalesced access, up to warp_size otherwise).
-using Instruction = std::vector<std::uint64_t>;
-
 /// Collects the distinct lines covering byte range [begin, end).
 void add_range_lines(std::uint64_t begin, std::uint64_t end, int line_bytes,
-                     Instruction& out) {
+                     std::vector<std::uint64_t>& out) {
   const auto lb = static_cast<std::uint64_t>(line_bytes);
   for (std::uint64_t line = begin / lb; line <= (end - 1) / lb; ++line) {
     out.push_back(line * lb);
   }
 }
 
-/// Builds the instruction stream of one thread-block staging `cols` in
-/// batches of `bin` columns, under the chosen scheme.
-std::vector<Instruction> block_instructions(const TraceConfig& config,
-                                            const DeviceSpec& dev,
-                                            std::span<const index_t> cols) {
-  std::vector<Instruction> stream;
+}  // namespace
+
+std::vector<WarpInstruction> hermitian_load_trace(
+    const DeviceSpec& dev, const TraceConfig& config,
+    std::span<const index_t> cols) {
+  CUMF_EXPECTS(config.f > 0 && config.bin > 0, "f and BIN must be positive");
+  CUMF_EXPECTS(config.threads_per_block % dev.warp_size == 0,
+               "block must be whole warps");
+  std::vector<WarpInstruction> stream;
   const auto f = static_cast<std::uint64_t>(config.f);
   const auto col_bytes = f * sizeof(real_t);
   const int warp = dev.warp_size;
@@ -52,10 +51,12 @@ std::vector<Instruction> block_instructions(const TraceConfig& config,
           const std::uint64_t end =
               std::min(col_bytes,
                        off + static_cast<std::uint64_t>(warp) * sizeof(real_t));
-          Instruction inst;
-          add_range_lines(base + off, base + end, dev.cache_line_bytes, inst);
-          std::sort(inst.begin(), inst.end());
-          inst.erase(std::unique(inst.begin(), inst.end()), inst.end());
+          WarpInstruction inst;
+          add_range_lines(base + off, base + end, dev.cache_line_bytes,
+                          inst.lines);
+          std::sort(inst.lines.begin(), inst.lines.end());
+          inst.lines.erase(std::unique(inst.lines.begin(), inst.lines.end()),
+                           inst.lines.end());
           stream.push_back(std::move(inst));
         }
       }
@@ -74,7 +75,7 @@ std::vector<Instruction> block_instructions(const TraceConfig& config,
       // column batch_cols[t % bin].
       for (std::uint64_t e = 0; e < seg_len; ++e) {
         for (int w = 0; w < warps_per_block; ++w) {
-          Instruction inst;
+          WarpInstruction inst;
           for (int lane = 0; lane < warp; ++lane) {
             const int t = w * warp + lane;
             const auto ci = static_cast<std::size_t>(t) % batch_cols.size();
@@ -86,15 +87,17 @@ std::vector<Instruction> block_instructions(const TraceConfig& config,
             }
             const std::uint64_t addr =
                 col_base(batch_cols[ci]) + elem * sizeof(real_t);
-            inst.push_back(addr / static_cast<std::uint64_t>(
-                                      dev.cache_line_bytes) *
-                           static_cast<std::uint64_t>(dev.cache_line_bytes));
+            inst.lines.push_back(addr / static_cast<std::uint64_t>(
+                                           dev.cache_line_bytes) *
+                                 static_cast<std::uint64_t>(
+                                     dev.cache_line_bytes));
           }
-          if (inst.empty()) {
+          if (inst.lines.empty()) {
             continue;
           }
-          std::sort(inst.begin(), inst.end());
-          inst.erase(std::unique(inst.begin(), inst.end()), inst.end());
+          std::sort(inst.lines.begin(), inst.lines.end());
+          inst.lines.erase(std::unique(inst.lines.begin(), inst.lines.end()),
+                           inst.lines.end());
           stream.push_back(std::move(inst));
         }
       }
@@ -102,8 +105,6 @@ std::vector<Instruction> block_instructions(const TraceConfig& config,
   }
   return stream;
 }
-
-}  // namespace
 
 TraceStats simulate_hermitian_load(
     const DeviceSpec& dev, const TraceConfig& config,
@@ -114,10 +115,10 @@ TraceStats simulate_hermitian_load(
                "block must be whole warps");
 
   // Build each resident block's instruction stream.
-  std::vector<std::vector<Instruction>> streams;
+  std::vector<std::vector<WarpInstruction>> streams;
   streams.reserve(rows_per_block.size());
   for (const auto& cols : rows_per_block) {
-    streams.push_back(block_instructions(config, dev, cols));
+    streams.push_back(hermitian_load_trace(dev, config, cols));
   }
 
   // L2 is shared device-wide; give this SM its proportional share so that a
@@ -143,11 +144,11 @@ TraceStats simulate_hermitian_load(
       if (cursor[b] >= streams[b].size()) {
         continue;
       }
-      const Instruction& inst = streams[b][cursor[b]++];
+      const WarpInstruction& inst = streams[b][cursor[b]++];
       progressed = true;
       ++stats.warp_instructions;
       MemLevel worst = MemLevel::L1;
-      for (const std::uint64_t line : inst) {
+      for (const std::uint64_t line : inst.lines) {
         const MemLevel level = hierarchy.access(line);
         ++stats.line_accesses;
         switch (level) {

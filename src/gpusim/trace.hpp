@@ -51,6 +51,20 @@ struct TraceStats {
   }
 };
 
+/// One warp-wide memory instruction: the distinct cache-line addresses it
+/// touches (1 for a fully coalesced access, up to warp_size otherwise).
+/// These records are the raw material of both the cache simulation below
+/// and the analysis layer's coalescing lint (analysis/coalesce.hpp).
+struct WarpInstruction {
+  std::vector<std::uint64_t> lines;
+};
+
+/// Builds the load-phase instruction stream of one thread-block staging the
+/// feature columns `cols` under `config`'s scheme.
+std::vector<WarpInstruction> hermitian_load_trace(
+    const DeviceSpec& dev, const TraceConfig& config,
+    std::span<const index_t> cols);
+
 /// Simulates the load phase on one SM. `rows_per_block[b]` is the sequence
 /// of column indices (the non-zero columns of the rating row) that resident
 /// block `b` must stage; the number of resident blocks is

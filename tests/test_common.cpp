@@ -188,6 +188,92 @@ TEST(ThreadPool, RejectsEmptyTask) {
   EXPECT_THROW(pool.submit(nullptr), CheckError);
 }
 
+TEST(ThreadPool, TasksSubmittedFromWorkersAreWaitedFor) {
+  // Regression: wait_idle must cover follow-up tasks submitted by running
+  // tasks, not just the ones enqueued before the wait started.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      counter.fetch_add(1);
+      for (int j = 0; j < 4; ++j) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 8 * 5);
+}
+
+TEST(ThreadPool, WaitIdleFromWorkerHelpsInsteadOfDeadlocking) {
+  // Regression: a task that submits children and then calls wait_idle used
+  // to block its own worker; with one of two workers gone the pool could
+  // stall. The waiter must help drain the queue and observe all children
+  // finished before proceeding.
+  ThreadPool pool(2);
+  std::atomic<int> children{0};
+  std::atomic<int> observed{-1};
+  pool.submit([&] {
+    for (int j = 0; j < 6; ++j) {
+      pool.submit([&children] { children.fetch_add(1); });
+    }
+    pool.wait_idle();
+    observed.store(children.load());
+  });
+  pool.wait_idle();
+  EXPECT_EQ(observed.load(), 6);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // parallel_for bodies issuing their own parallel_for: every chunk task
+  // ends in an inner wait_idle on a worker thread.
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  pool.parallel_for(4, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) {
+      pool.parallel_for(8,
+                        [&](std::size_t b2, std::size_t e2, std::size_t) {
+                          counter.fetch_add(static_cast<int>(e2 - b2));
+                        });
+    }
+  });
+  EXPECT_EQ(counter.load(), 4 * 8);
+}
+
+TEST(ThreadPool, SingleWorkerNestedWaitStillDrains) {
+  // Worst case for helping: one worker, so nobody else can ever pick up the
+  // children while the parent waits.
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+    pool.submit([&] {
+      pool.submit([&counter] { counter.fetch_add(1); });
+      pool.wait_idle();
+      counter.fetch_add(10);
+    });
+    pool.wait_idle();
+    counter.fetch_add(100);
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 111);
+}
+
+TEST(ThreadPool, ConcurrentSubmitsFromManyWorkers) {
+  // Stress for the TSan job: many workers racing on submit + completion
+  // accounting while an external thread waits.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&] {
+      for (int j = 0; j < 16; ++j) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 32 * 16);
+}
+
 // ---------- Table ----------
 
 TEST(Table, FormatsAlignedColumns) {

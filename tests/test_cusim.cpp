@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -106,6 +107,50 @@ TEST(Cusim, DetectsBarrierDivergence) {
                co_return;  // …the other half exits: CUDA UB, cusim error
              }),
       BarrierDivergence);
+}
+
+TEST(Cusim, BarrierDivergenceMessageNamesBlockAndPendingCount) {
+  // One thread of block (2,0,0) exits while the rest wait: the diagnostic
+  // must name that block and say how many threads never reached the barrier.
+  LaunchConfig config{Dim3{3}, Dim3{4}, 0};
+  try {
+    launch(config, [&](KernelCtx ctx) -> ThreadTask {
+      if (ctx.blockIdx.x == 2 && ctx.tid() == 3) {
+        co_return;
+      }
+      co_await ctx.sync();
+      co_return;
+    });
+    FAIL() << "expected BarrierDivergence";
+  } catch (const BarrierDivergence& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("block (2,0,0)"), std::string::npos) << what;
+    EXPECT_NE(what.find("3 of 4 threads reached __syncthreads()"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("1 still pending"), std::string::npos) << what;
+  }
+}
+
+TEST(Cusim, BarrierDivergenceMessageCountsAllPendingThreads) {
+  // The converse skew: only thread 0 syncs, three never arrive.
+  LaunchConfig config{Dim3{1}, Dim3{4}, 0};
+  try {
+    launch(config, [&](KernelCtx ctx) -> ThreadTask {
+      if (ctx.tid() == 0) {
+        co_await ctx.sync();
+      }
+      co_return;
+    });
+    FAIL() << "expected BarrierDivergence";
+  } catch (const BarrierDivergence& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("block (0,0,0)"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 of 4 threads reached __syncthreads()"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("3 still pending"), std::string::npos) << what;
+  }
 }
 
 TEST(Cusim, SharedMemoryIsZeroedPerBlock) {

@@ -14,6 +14,9 @@
 //   --implicit A   treat input as implicit with confidence alpha = A
 //   --movielens    input uses the u::v::r::ts format (1-based ids)
 //   --test FRAC    hold out FRAC for test RMSE reporting (default 0.1)
+//   --cucheck      run one compute-sanitizer-style checked iteration
+//                  (racecheck + memcheck + coalescing lint) before training;
+//                  aborts if the training kernels show hazards
 //
 // Input files: triplet "u v r" lines by default (LIBMF/NOMAD format).
 #include <cstdio>
@@ -22,6 +25,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/precheck.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
@@ -43,7 +47,7 @@ namespace {
                "[-t N]\n"
                "             [--solver lu|cholesky|cg|cg16|pcg] [--fs N]\n"
                "             [--workers N] [--implicit ALPHA] [--movielens]\n"
-               "             [--test FRAC]\n"
+               "             [--test FRAC] [--cucheck]\n"
                "  cumf_train predict <model> <pairs> \n"
                "  cumf_train recommend <model> <ratings> <user> [-k N]\n");
   std::exit(2);
@@ -74,6 +78,7 @@ int cmd_train(int argc, char** argv) {
   std::optional<double> implicit_alpha;
   LoaderOptions loader;
   double test_fraction = 0.1;
+  bool cucheck = false;
 
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -102,6 +107,8 @@ int cmd_train(int argc, char** argv) {
       loader.one_based = true;
     } else if (arg == "--test") {
       test_fraction = std::atof(next());
+    } else if (arg == "--cucheck") {
+      cucheck = true;
     } else {
       usage();
     }
@@ -118,6 +125,31 @@ int cmd_train(int argc, char** argv) {
                          : TrainTestSplit{ratings, RatingsCoo(
                                                        ratings.rows(),
                                                        ratings.cols())};
+
+  if (cucheck) {
+    // cucheck_report mode: one checked iteration of the device kernels over
+    // a prefix of the training data before committing to the real run.
+    std::printf("cucheck: running one checked iteration...\n");
+    auto train_sorted = split.train;
+    train_sorted.sort_and_dedup();
+    const auto csr = CsrMatrix::from_coo(train_sorted);
+    Matrix theta0(csr.cols(), static_cast<std::size_t>(f));
+    Rng theta_rng(2);
+    for (auto& v : theta0.data()) {
+      v = static_cast<real_t>(theta_rng.normal(0.0, 0.1));
+    }
+    analysis::PrecheckConfig precheck;
+    precheck.lambda = static_cast<real_t>(lambda);
+    precheck.fs = fs;
+    const auto verdict = analysis::run_precheck(csr, theta0, precheck);
+    std::printf("%s", verdict.summary().c_str());
+    if (!verdict.clean()) {
+      std::fprintf(stderr,
+                   "cucheck: hazards detected in the training kernels; "
+                   "refusing to train\n");
+      return 1;
+    }
+  }
 
   auto als = mllib::Als()
                  .set_rank(f)
