@@ -37,16 +37,20 @@ void BlockedSgd::run_epoch() {
     // Blocks within a round have disjoint row/col ranges: safe in parallel.
     pool_.parallel_for(
         blocks.size(),
-        [&](std::size_t begin, std::size_t end, std::size_t worker) {
+        [&](std::size_t begin, std::size_t end, std::size_t) {
           for (std::size_t b = begin; b < end; ++b) {
             const auto& entries = grid_.block(blocks[b].i, blocks[b].j);
-            // Shuffle within the block per epoch.
+            // Shuffle within the block per epoch. Seed from the block's
+            // grid coordinates and the epoch — never from the worker id,
+            // which is schedule-dependent under the guided parallel_for and
+            // would break run-to-run determinism.
             std::vector<std::uint32_t> order(entries.size());
             for (std::size_t i = 0; i < order.size(); ++i) {
               order[i] = static_cast<std::uint32_t>(i);
             }
-            Rng rng(options_.seed + 7919ull * (worker + 1) +
-                    31ull * static_cast<std::uint64_t>(epochs_) + b);
+            Rng rng(options_.seed + 7919ull * (blocks[b].i + 1ull) +
+                    104729ull * (blocks[b].j + 1ull) +
+                    31ull * static_cast<std::uint64_t>(epochs_));
             for (std::size_t i = order.size(); i > 1; --i) {
               std::swap(order[i - 1], order[rng.uniform_index(i)]);
             }

@@ -1,6 +1,8 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <utility>
 
 #include "common/check.hpp"
@@ -106,9 +108,39 @@ void ThreadPool::wait_idle() {
   cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::parallel_for(
-    std::size_t n, const std::function<void(std::size_t, std::size_t,
-                                            std::size_t)>& body) {
+void ThreadPool::parallel_for(std::size_t n, const ForBody& body) {
+  if (n == 0) {
+    return;
+  }
+  const std::size_t workers = std::min(n, size());
+  // shared_ptr keeps the counter alive even if a task outlives this frame's
+  // locals in a helping-waiter interleaving; `body` is safe by reference
+  // because wait_idle blocks until every chunk has run.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  for (std::size_t c = 0; c < workers; ++c) {
+    submit([next, n, workers, &body, c] {
+      for (;;) {
+        // Guided chunk size from a (possibly stale) snapshot: halves as the
+        // range drains, floors at 1. Staleness only affects granularity.
+        const std::size_t seen = next->load(std::memory_order_relaxed);
+        if (seen >= n) {
+          break;
+        }
+        const std::size_t chunk =
+            std::max<std::size_t>(1, (n - seen) / (2 * workers));
+        const std::size_t begin =
+            next->fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n) {
+          break;
+        }
+        body(begin, std::min(begin + chunk, n), c);
+      }
+    });
+  }
+  wait_idle();
+}
+
+void ThreadPool::parallel_for_static(std::size_t n, const ForBody& body) {
   if (n == 0) {
     return;
   }
@@ -121,6 +153,33 @@ void ThreadPool::parallel_for(
     const std::size_t end = begin + len;
     submit([&body, begin, end, c] { body(begin, end, c); });
     begin = end;
+  }
+  wait_idle();
+}
+
+void ThreadPool::parallel_for_chunks(std::span<const std::size_t> bounds,
+                                     const ForBody& body) {
+  CUMF_EXPECTS(bounds.size() >= 2, "need at least one chunk boundary pair");
+  CUMF_EXPECTS(bounds.front() == 0, "bounds must start at 0");
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    CUMF_EXPECTS(bounds[i] >= bounds[i - 1], "bounds must be ascending");
+  }
+  const std::size_t chunks = bounds.size() - 1;
+  const std::size_t workers = std::min(chunks, size());
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  for (std::size_t c = 0; c < workers; ++c) {
+    submit([next, bounds, chunks, &body, c] {
+      for (;;) {
+        const std::size_t i =
+            next->fetch_add(1, std::memory_order_relaxed);
+        if (i >= chunks) {
+          break;
+        }
+        if (bounds[i] < bounds[i + 1]) {
+          body(bounds[i], bounds[i + 1], c);
+        }
+      }
+    });
   }
   wait_idle();
 }

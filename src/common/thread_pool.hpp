@@ -11,6 +11,7 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -39,12 +40,31 @@ class ThreadPool {
   /// nested parallel_for / submit+wait patterns cannot deadlock the pool.
   void wait_idle();
 
-  /// Statically partition [0, n) into `size()` contiguous chunks and run
-  /// `body(begin, end, worker)` on each. Blocks until all chunks complete.
-  void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t begin,
-                                             std::size_t end,
-                                             std::size_t worker)>& body);
+  using ForBody = std::function<void(std::size_t begin, std::size_t end,
+                                     std::size_t worker)>;
+
+  /// Run `body(begin, end, worker)` over [0, n) with a guided schedule:
+  /// up to `size()` worker tasks pull variable-size chunks from a shared
+  /// atomic counter (chunk ≈ remaining / (2·workers), never below 1), so a
+  /// skewed cost distribution cannot strand the range behind one worker.
+  /// Each worker index is held by exactly one task, and that task invokes
+  /// `body` sequentially — per-worker scratch indexed by `worker` stays
+  /// race-free. Blocks until the whole range completes.
+  void parallel_for(std::size_t n, const ForBody& body);
+
+  /// The pre-guided behaviour: statically partition [0, n) into `size()`
+  /// contiguous chunks, one `body` call per worker. Kept for callers that
+  /// rely on one contiguous range per worker and as the baseline the
+  /// scheduling benchmarks compare against.
+  void parallel_for_static(std::size_t n, const ForBody& body);
+
+  /// Caller-weighted schedule: `bounds` is an ascending boundary list
+  /// (bounds.front() == 0, bounds.back() == n) and chunk i is
+  /// [bounds[i], bounds[i+1]). Worker tasks pull chunk indices from an
+  /// atomic counter in order, so front-loading the heavy chunks (e.g. equal
+  /// total nnz per chunk) balances skewed work. Empty chunks are skipped.
+  void parallel_for_chunks(std::span<const std::size_t> bounds,
+                           const ForBody& body);
 
  private:
   void worker_loop();

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "half/half.hpp"
 
 namespace cumf {
 
@@ -17,6 +18,35 @@ int pick_tile(std::size_t f, int requested) {
     }
   }
   return 1;
+}
+
+std::vector<std::size_t> nnz_balanced_bounds(const CsrMatrix& r,
+                                             std::size_t chunks) {
+  CUMF_EXPECTS(chunks >= 1, "need at least one chunk");
+  const auto m = static_cast<std::size_t>(r.rows());
+  const std::vector<nnz_t>& ptr = r.row_ptr();
+  std::vector<std::size_t> bounds;
+  bounds.reserve(chunks + 1);
+  bounds.push_back(0);
+  if (m == 0) {
+    bounds.push_back(0);
+    return bounds;
+  }
+  const nnz_t total = ptr[m];
+  for (std::size_t c = 1; c < chunks; ++c) {
+    // End chunk c at the first row boundary whose cumulative nnz reaches an
+    // equal share of the total. A row heavier than the share swallows the
+    // next cut point(s), yielding fewer, still-balanced chunks.
+    const nnz_t target = total * c / chunks;
+    const auto it = std::lower_bound(ptr.begin(), ptr.end(), target);
+    const auto row = static_cast<std::size_t>(it - ptr.begin());
+    if (row <= bounds.back() || row >= m) {
+      continue;
+    }
+    bounds.push_back(row);
+  }
+  bounds.push_back(m);
+  return bounds;
 }
 
 /// Initializes factors so that x·θ starts near the global rating mean:
@@ -58,7 +88,7 @@ AlsEngine::AlsEngine(const RatingsCoo& train, const AlsOptions& options)
 
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int w = 0; w < options_.workers; ++w) {
-    workers_.emplace_back(options_.f, options_.solver);
+    workers_.emplace_back(options_.f, options_.solver, options_.hermitian);
   }
   if (options_.workers > 1) {
     pool_ = std::make_unique<ThreadPool>(
@@ -78,14 +108,20 @@ void AlsEngine::update_rows(const CsrMatrix& ratings, const Matrix& fixed,
     if (options_.tiled_hermitian) {
       get_hermitian_row(ratings, fixed, u, options_.lambda,
                         options_.hermitian, ctx.ws, ctx.a_scratch,
-                        ctx.b_scratch);
+                        ctx.b_scratch, options_.solver.path);
     } else {
       get_hermitian_row_reference(ratings, fixed, u, options_.lambda,
                                   ctx.a_scratch, ctx.b_scratch);
     }
+    // Traffic per rating: one θ row (FP32 even when staging rounds to FP16
+    // in "shared memory" — the global read is full precision), the rating
+    // value and its column index. Written: A_u plus the b_u vector.
+    constexpr double kReal = sizeof(real_t);
+    constexpr double kIdx = sizeof(index_t);
     ctx.herm_ops.flops += static_cast<double>(nnz_u) * (f * f + 2.0 * f);
-    ctx.herm_ops.bytes_read += static_cast<double>(nnz_u) * (f * 4.0 + 8.0);
-    ctx.herm_ops.bytes_written += static_cast<double>(f) * f * 4.0;
+    ctx.herm_ops.bytes_read +=
+        static_cast<double>(nnz_u) * (f * kReal + kReal + kIdx);
+    ctx.herm_ops.bytes_written += (static_cast<double>(f) * f + f) * kReal;
 
     const bool ok =
         ctx.solver.solve(ctx.a_scratch, ctx.b_scratch, solved.row(u));
@@ -94,16 +130,19 @@ void AlsEngine::update_rows(const CsrMatrix& ratings, const Matrix& fixed,
     if (options_.solver.kind == SolverKind::CgFp32 ||
         options_.solver.kind == SolverKind::PcgFp32 ||
         options_.solver.kind == SolverKind::CgFp16) {
-      const double bytes_per_elem =
-          options_.solver.kind == SolverKind::CgFp16 ? 2.0 : 4.0;
+      const double a_elem_bytes = options_.solver.kind == SolverKind::CgFp16
+                                      ? sizeof(half)
+                                      : sizeof(real_t);
       const double fs = options_.solver.cg_fs;
       ctx.solve_ops.flops += fs * (2.0 * ff * ff + 10.0 * ff);
-      ctx.solve_ops.bytes_read += fs * ff * ff * bytes_per_elem;
+      // fs sweeps over A (half-width for the FP16 solver) plus the CG
+      // warm start reading the previous x_u once.
+      ctx.solve_ops.bytes_read += fs * ff * ff * a_elem_bytes + ff * kReal;
     } else {
       ctx.solve_ops.flops += (2.0 / 3.0) * ff * ff * ff;
-      ctx.solve_ops.bytes_read += ff * ff * 4.0;
+      ctx.solve_ops.bytes_read += ff * ff * kReal;
     }
-    ctx.solve_ops.bytes_written += ff * 4.0;
+    ctx.solve_ops.bytes_written += ff * kReal;
   }
 }
 
@@ -113,14 +152,24 @@ void AlsEngine::update_side(const CsrMatrix& ratings, const Matrix& fixed,
     update_rows(ratings, fixed, solved, 0, ratings.rows(), workers_[0]);
     return;
   }
-  // Rows are independent: static partition, one context per worker. No row
+  // Rows are independent and each worker index is held by exactly one task,
+  // so one context per worker stays race-free under either schedule. No row
   // is touched by two workers, and `fixed` is read-only during the sweep.
-  pool_->parallel_for(
-      ratings.rows(),
-      [&](std::size_t begin, std::size_t end, std::size_t worker) {
-        update_rows(ratings, fixed, solved, static_cast<index_t>(begin),
-                    static_cast<index_t>(end), workers_[worker]);
-      });
+  const auto body = [&](std::size_t begin, std::size_t end,
+                        std::size_t worker) {
+    update_rows(ratings, fixed, solved, static_cast<index_t>(begin),
+                static_cast<index_t>(end), workers_[worker]);
+  };
+  if (options_.schedule == AlsSchedule::nnz_guided) {
+    // ~8 chunks per worker of equal nnz: power-law degree skew costs at
+    // most one trailing chunk of imbalance instead of an entire static
+    // range (see docs/performance.md).
+    const std::vector<std::size_t> bounds =
+        nnz_balanced_bounds(ratings, 8 * pool_->size());
+    pool_->parallel_for_chunks(bounds, body);
+  } else {
+    pool_->parallel_for_static(ratings.rows(), body);
+  }
 }
 
 void AlsEngine::run_epoch() {

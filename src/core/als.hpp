@@ -22,17 +22,35 @@
 
 namespace cumf {
 
+/// How a half-sweep's rows are distributed over the worker pool.
+enum class AlsSchedule {
+  /// One contiguous equal-row-count range per worker. Power-law row degrees
+  /// concentrate nnz (and therefore hermitian work) in the first ranges, so
+  /// an epoch serializes behind the heaviest worker.
+  static_rows,
+  /// Rows are cut into ~8·workers chunks of roughly equal *nnz* (from the
+  /// CSR row_ptr prefix) and workers pull chunks from an atomic counter, so
+  /// degree skew costs at most one chunk of imbalance.
+  nnz_guided,
+};
+
 struct AlsOptions {
   std::size_t f = 40;         ///< latent dimension
   real_t lambda = 0.05f;      ///< ALS-WR regularization (λ·n_u on diagonal)
-  SolverOptions solver;       ///< exact or approximate `solve` step
+  /// Exact or approximate `solve` step. `solver.path` is the engine's single
+  /// kernel-path knob: it also selects the SIMD/scalar variant of
+  /// get_hermitian_row, so one switch pins a whole training run to either
+  /// path (the differential tests rely on this).
+  SolverOptions solver;
   HermitianParams hermitian;  ///< tile/BIN of the memory-optimized kernel
   bool tiled_hermitian = true;  ///< false → naive reference kernel (ablation)
   /// Host threads updating rows concurrently. Row updates are independent
   /// (§II), so any worker count produces the same factors as the serial run
   /// up to floating-point associativity — and exactly the same here, since
-  /// each row's arithmetic is self-contained.
+  /// each row's arithmetic is self-contained (and independent of which
+  /// worker or schedule runs it).
   int workers = 1;
+  AlsSchedule schedule = AlsSchedule::nnz_guided;
   std::uint64_t seed = 1;
 };
 
@@ -70,8 +88,11 @@ class AlsEngine {
   /// Everything one worker needs to update a row without touching shared
   /// mutable state: the device analogue is a thread-block's scratch.
   struct WorkerContext {
-    explicit WorkerContext(std::size_t f, const SolverOptions& options)
-        : solver(f, options), a_scratch(f * f), b_scratch(f) {}
+    WorkerContext(std::size_t f, const SolverOptions& options,
+                  const HermitianParams& hermitian)
+        : solver(f, options), a_scratch(f * f), b_scratch(f) {
+      ws.prepare(f, hermitian);
+    }
     SystemSolver solver;
     HermitianWorkspace ws;
     std::vector<real_t> a_scratch;
@@ -99,6 +120,15 @@ class AlsEngine {
 /// Largest tile size ≤ `requested` that divides f (so any f works with the
 /// paper's default tile of 10).
 int pick_tile(std::size_t f, int requested);
+
+/// Chunk boundaries over the rows of `r` such that each chunk holds roughly
+/// equal total nnz (cut points from the row_ptr prefix sums). Returns an
+/// ascending list starting at 0 and ending at r.rows(), with at most
+/// `chunks` chunks — fewer when single heavy rows exceed the equal share,
+/// each of which then forms its own chunk. Feed to
+/// ThreadPool::parallel_for_chunks.
+std::vector<std::size_t> nnz_balanced_bounds(const CsrMatrix& r,
+                                             std::size_t chunks);
 
 /// Shared warm start: entries near sqrt(mean/f) so x·θ begins at the global
 /// rating mean. Used by both the single- and multi-GPU engines.

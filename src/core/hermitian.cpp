@@ -4,13 +4,54 @@
 
 #include "common/check.hpp"
 #include "half/half.hpp"
+#include "half/half_simd.hpp"
 
 namespace cumf {
+
+namespace {
+
+/// T×T register-block accumulation, SIMD path: for each tile row i the
+/// row-segment update block[i,:] += y_i · frag_x[:] is elementwise, so the
+/// 8-lane vector body plus scalar tail is bitwise identical to the scalar
+/// loop (same per-element operations in the same s/i/j order).
+void accumulate_tile_simd(real_t* block, std::size_t f, std::size_t tile,
+                          const real_t* frag_x, const real_t* frag_y) {
+  for (std::size_t i = 0; i < tile; ++i) {
+    const real_t yi = frag_y[i];
+    real_t* brow = block + i * f;
+    const simd::vf8 yv = simd::vf8::broadcast(yi);
+    std::size_t j = 0;
+    for (; j + 8 <= tile; j += 8) {
+      (simd::vf8::load(brow + j) + yv * simd::vf8::load(frag_x + j))
+          .store(brow + j);
+    }
+    for (; j < tile; ++j) {
+      brow[j] += yi * frag_x[j];
+    }
+  }
+}
+
+void accumulate_tile_scalar(real_t* block, std::size_t f, std::size_t tile,
+                            const real_t* frag_x, const real_t* frag_y) {
+  for (std::size_t i = 0; i < tile; ++i) {
+    const real_t yi = frag_y[i];
+    for (std::size_t j = 0; j < tile; ++j) {
+      block[i * f + j] += yi * frag_x[j];
+    }
+  }
+}
+
+}  // namespace
+
+void HermitianWorkspace::prepare(std::size_t f, const HermitianParams& params) {
+  CUMF_EXPECTS(params.bin > 0, "BIN must be positive");
+  staged.resize(static_cast<std::size_t>(params.bin) * f);
+}
 
 void get_hermitian_row(const CsrMatrix& r, const Matrix& theta, index_t u,
                        real_t lambda, const HermitianParams& params,
                        HermitianWorkspace& ws, std::span<real_t> a_out,
-                       std::span<real_t> b_out) {
+                       std::span<real_t> b_out, simd::KernelPath path) {
   const std::size_t f = theta.cols();
   CUMF_EXPECTS(params.tile > 0 && f % static_cast<std::size_t>(params.tile) == 0,
                "f must be a multiple of the tile size");
@@ -21,10 +62,15 @@ void get_hermitian_row(const CsrMatrix& r, const Matrix& theta, index_t u,
   const auto tile = static_cast<std::size_t>(params.tile);
   const auto bin = static_cast<std::size_t>(params.bin);
   const std::size_t nt = f / tile;  // tiles per dimension
+  const bool use_simd = path == simd::KernelPath::simd;
 
   std::fill(a_out.begin(), a_out.end(), real_t{0});
   std::fill(b_out.begin(), b_out.end(), real_t{0});
-  ws.staged.resize(bin * f);
+  // Steady state never touches the allocator: AlsEngine prepares each
+  // worker's workspace once; ad-hoc callers pay a single resize here.
+  if (ws.staged.size() < bin * f) {
+    ws.staged.resize(bin * f);
+  }
 
   const auto cols = r.row_cols(u);
   const auto vals = r.row_vals(u);
@@ -37,9 +83,7 @@ void get_hermitian_row(const CsrMatrix& r, const Matrix& theta, index_t u,
     for (std::size_t s = 0; s < batch_len; ++s) {
       const auto trow = theta.row(cols[batch + s]);
       if (params.fp16_staging) {
-        for (std::size_t i = 0; i < f; ++i) {
-          ws.staged[s * f + i] = static_cast<real_t>(half(trow[i]));
-        }
+        round_through_half_n(trow.data(), ws.staged.data() + s * f, f, path);
       } else {
         std::copy(trow.begin(), trow.end(), ws.staged.begin() + s * f);
       }
@@ -53,11 +97,10 @@ void get_hermitian_row(const CsrMatrix& r, const Matrix& theta, index_t u,
         for (std::size_t s = 0; s < batch_len; ++s) {
           const real_t* frag_x = ws.staged.data() + s * f + x * tile;
           const real_t* frag_y = ws.staged.data() + s * f + y * tile;
-          for (std::size_t i = 0; i < tile; ++i) {
-            const real_t yi = frag_y[i];
-            for (std::size_t j = 0; j < tile; ++j) {
-              block[i * f + j] += yi * frag_x[j];
-            }
+          if (use_simd) {
+            accumulate_tile_simd(block, f, tile, frag_x, frag_y);
+          } else {
+            accumulate_tile_scalar(block, f, tile, frag_x, frag_y);
           }
         }
       }
@@ -67,8 +110,21 @@ void get_hermitian_row(const CsrMatrix& r, const Matrix& theta, index_t u,
     for (std::size_t s = 0; s < batch_len; ++s) {
       const real_t ruv = vals[batch + s];
       const real_t* col = ws.staged.data() + s * f;
-      for (std::size_t i = 0; i < f; ++i) {
-        b_out[i] += ruv * col[i];
+      if (use_simd) {
+        const simd::vf8 rv = simd::vf8::broadcast(ruv);
+        std::size_t i = 0;
+        for (; i + 8 <= f; i += 8) {
+          (simd::vf8::load(b_out.data() + i) +
+           rv * simd::vf8::load(col + i))
+              .store(b_out.data() + i);
+        }
+        for (; i < f; ++i) {
+          b_out[i] += ruv * col[i];
+        }
+      } else {
+        for (std::size_t i = 0; i < f; ++i) {
+          b_out[i] += ruv * col[i];
+        }
       }
     }
   }

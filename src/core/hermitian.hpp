@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "linalg/dense.hpp"
+#include "simd/vec.hpp"
 #include "sparse/csr.hpp"
 
 namespace cumf {
@@ -31,19 +32,27 @@ struct HermitianParams {
   bool fp16_staging = false;
 };
 
-/// Reusable scratch for the staged batch; sized on first use.
+/// Reusable scratch for the staged batch. Call prepare() once per worker so
+/// the per-row hot loop never touches allocator paths; unprepared workspaces
+/// are sized lazily on first use.
 struct HermitianWorkspace {
   std::vector<real_t> staged;  ///< BIN × f "shared memory" buffer
+
+  void prepare(std::size_t f, const HermitianParams& params);
 };
 
 /// Tiled kernel: writes the full symmetric A_u (f×f row-major) into `a_out`
 /// and b_u into `b_out`. λ·n_u is added to the diagonal (ALS-WR weighting,
 /// eq. (2)). Rows with no non-zeros produce A_u = λ·0·I = 0 plus b=0; the
 /// caller decides how to handle them (AlsEngine keeps the old factor).
+/// `path` selects the SIMD or scalar variant of the tile accumulation, the
+/// FP16 staging transform, and the b_u update; the two variants are bitwise
+/// identical (all three stages are elementwise) and differentially tested.
 void get_hermitian_row(const CsrMatrix& r, const Matrix& theta, index_t u,
                        real_t lambda, const HermitianParams& params,
                        HermitianWorkspace& ws, std::span<real_t> a_out,
-                       std::span<real_t> b_out);
+                       std::span<real_t> b_out,
+                       simd::KernelPath path = simd::kDefaultPath);
 
 /// Naive reference (plain accumulation loops) for differential testing.
 void get_hermitian_row_reference(const CsrMatrix& r, const Matrix& theta,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "half/half_simd.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/lu.hpp"
 
@@ -71,26 +72,25 @@ bool SystemSolver::solve(std::span<const real_t> a,
       return true;
     }
     case SolverKind::CgFp32: {
-      const CgResult r =
-          cg_solve<float>(f_, a, b, x, options_.cg_fs, options_.cg_eps);
+      const CgResult r = cg_solve<float>(f_, a, b, x, options_.cg_fs,
+                                         options_.cg_eps, options_.path);
       stats_.cg_iterations += r.iterations;
       return true;
     }
     case SolverKind::PcgFp32: {
-      const CgResult r =
-          pcg_solve<float>(f_, a, b, x, options_.cg_fs, options_.cg_eps);
+      const CgResult r = pcg_solve<float>(f_, a, b, x, options_.cg_fs,
+                                          options_.cg_eps, options_.path);
       stats_.cg_iterations += r.iterations;
       return true;
     }
     case SolverKind::CgFp16: {
       // Store A in half precision — the read side of every CG matvec then
       // moves half the bytes (Solution 4). b and x stay FP32.
-      for (std::size_t i = 0; i < a.size(); ++i) {
-        scratch_fp16_[i] = half(a[i]);
-      }
+      float_to_half_n(a.data(), scratch_fp16_.data(), a.size(),
+                      options_.path);
       const CgResult r =
           cg_solve<half>(f_, std::span<const half>(scratch_fp16_), b, x,
-                         options_.cg_fs, options_.cg_eps);
+                         options_.cg_fs, options_.cg_eps, options_.path);
       stats_.cg_iterations += r.iterations;
       return true;
     }

@@ -31,6 +31,9 @@ struct SolverOptions {
   SolverKind kind = SolverKind::CgFp32;
   std::uint32_t cg_fs = 6;    ///< max CG iterations (paper: 6 for f=100)
   real_t cg_eps = 1e-4f;      ///< ε tolerance on √(rᵀr)
+  /// Kernel path for the CG inner loops and the FP16 A conversion; the
+  /// scalar/SIMD variants are differentially tested (see docs/performance.md).
+  simd::KernelPath path = simd::kDefaultPath;
 };
 
 /// Accumulated behaviour of the solver across a batch of systems.

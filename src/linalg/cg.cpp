@@ -2,25 +2,23 @@
 
 namespace cumf {
 
-double dot_d(std::span<const real_t> a, std::span<const real_t> b) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-  }
-  return acc;
+double dot_d(std::span<const real_t> a, std::span<const real_t> b,
+             simd::KernelPath path) {
+  return dot(a, b, path);
 }
 
 template CgResult cg_solve<float>(std::size_t, std::span<const float>,
                                   std::span<const real_t>, std::span<real_t>,
-                                  std::uint32_t, real_t);
+                                  std::uint32_t, real_t, simd::KernelPath);
 template CgResult cg_solve<half>(std::size_t, std::span<const half>,
                                  std::span<const real_t>, std::span<real_t>,
-                                 std::uint32_t, real_t);
+                                 std::uint32_t, real_t, simd::KernelPath);
 template CgResult pcg_solve<float>(std::size_t, std::span<const float>,
                                    std::span<const real_t>,
-                                   std::span<real_t>, std::uint32_t, real_t);
+                                   std::span<real_t>, std::uint32_t, real_t,
+                                   simd::KernelPath);
 template CgResult pcg_solve<half>(std::size_t, std::span<const half>,
                                   std::span<const real_t>, std::span<real_t>,
-                                  std::uint32_t, real_t);
+                                  std::uint32_t, real_t, simd::KernelPath);
 
 }  // namespace cumf

@@ -8,6 +8,14 @@
 // matvec (Solution 4), which doubles the effective memory bandwidth of this
 // memory-bound kernel. All arithmetic is performed in FP32 regardless of the
 // storage type, matching the GPU implementation.
+//
+// Every per-iteration primitive — the gemv (with a fused 8-wide FP16 unpack
+// for half storage), both dot products, and the x/r/p updates — has a SIMD
+// and a scalar variant selected by the trailing KernelPath argument
+// (default: the configure-time choice). Elementwise updates are bitwise
+// identical across paths; the gemv/dot reductions accumulate in double on
+// both paths but the SIMD path sums lanes in parallel, so iterates agree to
+// reassociation error only.
 #pragma once
 
 #include <cmath>
@@ -18,6 +26,9 @@
 #include "common/check.hpp"
 #include "common/types.hpp"
 #include "half/half.hpp"
+#include "half/half_simd.hpp"
+#include "linalg/dense.hpp"
+#include "simd/vec.hpp"
 
 namespace cumf {
 
@@ -33,7 +44,102 @@ inline float load_as_float(float v) noexcept { return v; }
 inline float load_as_float(half v) noexcept { return static_cast<float>(v); }
 
 /// Double-accumulated dot product on real_t spans (internal helper).
-double dot_d(std::span<const real_t> a, std::span<const real_t> b);
+double dot_d(std::span<const real_t> a, std::span<const real_t> b,
+             simd::KernelPath path = simd::kDefaultPath);
+
+namespace detail {
+
+/// 8-lane load of the storage type: float loads directly, half goes through
+/// the vectorized unpack (bitwise identical to elementwise widening).
+inline simd::vf8 load8(const float* p) noexcept { return simd::vf8::load(p); }
+inline simd::vf8 load8(const half* p) noexcept { return half_to_float8(p); }
+
+/// out = A·in for row-major n×n A of storage type T, FP32 data, double
+/// accumulation per row (exact float→double products on both paths).
+template <typename T>
+void gemv(std::size_t n, const T* a, const real_t* in, real_t* out,
+          simd::KernelPath path) {
+  if (path == simd::KernelPath::simd) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const T* row = a + i * n;
+      simd::vd4 acc_lo = simd::vd4::zero();
+      simd::vd4 acc_hi = simd::vd4::zero();
+      std::size_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        const simd::vf8 av = load8(row + j);
+        const simd::vf8 xv = simd::vf8::load(in + j);
+        acc_lo.mul_acc_lo(av, xv);
+        acc_hi.mul_acc_hi(av, xv);
+      }
+      double acc = acc_lo.hsum() + acc_hi.hsum();
+      for (; j < n; ++j) {
+        acc += static_cast<double>(load_as_float(row[j])) *
+               static_cast<double>(in[j]);
+      }
+      out[i] = static_cast<real_t>(acc);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    const T* row = a + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      acc += static_cast<double>(load_as_float(row[j])) *
+             static_cast<double>(in[j]);
+    }
+    out[i] = static_cast<real_t>(acc);
+  }
+}
+
+/// x += α·p and r −= α·ap, fused (CG line 5). Elementwise: bitwise equal
+/// across paths.
+inline void cg_step_update(std::size_t n, real_t alpha, const real_t* p,
+                           const real_t* ap, real_t* x, real_t* r,
+                           simd::KernelPath path) {
+  std::size_t i = 0;
+  if (path == simd::KernelPath::simd) {
+    const simd::vf8 av = simd::vf8::broadcast(alpha);
+    for (; i + 8 <= n; i += 8) {
+      (simd::vf8::load(x + i) + av * simd::vf8::load(p + i)).store(x + i);
+      (simd::vf8::load(r + i) - av * simd::vf8::load(ap + i)).store(r + i);
+    }
+  }
+  for (; i < n; ++i) {
+    x[i] += alpha * p[i];
+    r[i] -= alpha * ap[i];
+  }
+}
+
+/// p = z + β·p (CG line 10 / PCG direction update).
+inline void xpby(std::size_t n, const real_t* z, real_t beta, real_t* p,
+                 simd::KernelPath path) {
+  std::size_t i = 0;
+  if (path == simd::KernelPath::simd) {
+    const simd::vf8 bv = simd::vf8::broadcast(beta);
+    for (; i + 8 <= n; i += 8) {
+      (simd::vf8::load(z + i) + bv * simd::vf8::load(p + i)).store(p + i);
+    }
+  }
+  for (; i < n; ++i) {
+    p[i] = z[i] + beta * p[i];
+  }
+}
+
+/// z = d ⊙ r (Jacobi preconditioner application).
+inline void hadamard(std::size_t n, const real_t* d, const real_t* r,
+                     real_t* z, simd::KernelPath path) {
+  std::size_t i = 0;
+  if (path == simd::KernelPath::simd) {
+    for (; i + 8 <= n; i += 8) {
+      (simd::vf8::load(d + i) * simd::vf8::load(r + i)).store(z + i);
+    }
+  }
+  for (; i < n; ++i) {
+    z[i] = d[i] * r[i];
+  }
+}
+
+}  // namespace detail
 
 /// Solves A·x = b for symmetric positive definite A (n×n row-major, full
 /// storage, element type T ∈ {float, half}). `x` holds the initial guess on
@@ -41,11 +147,12 @@ double dot_d(std::span<const real_t> a, std::span<const real_t> b);
 /// solution on exit.
 ///
 /// fs: maximum iterations (paper's truncation knob). eps: tolerance on
-/// √(rᵀr) (Algorithm 1 line 7).
+/// √(rᵀr) (Algorithm 1 line 7). path: SIMD or scalar kernels.
 template <typename T>
 CgResult cg_solve(std::size_t n, std::span<const T> a,
                   std::span<const real_t> b, std::span<real_t> x,
-                  std::uint32_t fs, real_t eps) {
+                  std::uint32_t fs, real_t eps,
+                  simd::KernelPath path = simd::kDefaultPath) {
   CUMF_EXPECTS(a.size() == n * n, "cg: A must be n*n");
   CUMF_EXPECTS(b.size() == n && x.size() == n, "cg: vector size mismatch");
   CUMF_EXPECTS(fs > 0, "cg: need at least one iteration");
@@ -56,25 +163,13 @@ CgResult cg_solve(std::size_t n, std::span<const T> a,
   std::vector<real_t> p(n);
   std::vector<real_t> ap(n);
 
-  const auto matvec = [&](std::span<const real_t> in, std::span<real_t> out) {
-    for (std::size_t i = 0; i < n; ++i) {
-      double acc = 0.0;
-      const T* row = a.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        acc += static_cast<double>(load_as_float(row[j])) *
-               static_cast<double>(in[j]);
-      }
-      out[i] = static_cast<real_t>(acc);
-    }
-  };
-
   // r = b − A·x; p = r; rsold = rᵀr   (Algorithm 1, line 2)
-  matvec(x, r);
+  detail::gemv(n, a.data(), x.data(), r.data(), path);
   for (std::size_t i = 0; i < n; ++i) {
     r[i] = b[i] - r[i];
     p[i] = r[i];
   }
-  double rsold = dot_d(r, r);
+  double rsold = dot_d(r, r, path);
 
   CgResult result;
   result.residual_norm = std::sqrt(rsold);
@@ -84,17 +179,15 @@ CgResult cg_solve(std::size_t n, std::span<const T> a,
   }
 
   for (std::uint32_t j = 0; j < fs; ++j) {
-    matvec(p, ap);                              // ap = A·p (line 4)
-    const double pap = dot_d(p, ap);
+    detail::gemv(n, a.data(), p.data(), ap.data(), path);  // ap = A·p (line 4)
+    const double pap = dot_d(p, ap, path);
     if (pap <= 0.0) {
       break;  // loss of positive definiteness under rounding: stop early
     }
     const double alpha = rsold / pap;
-    for (std::size_t i = 0; i < n; ++i) {       // line 5
-      x[i] += static_cast<real_t>(alpha) * p[i];
-      r[i] -= static_cast<real_t>(alpha) * ap[i];
-    }
-    const double rsnew = dot_d(r, r);           // line 6
+    detail::cg_step_update(n, static_cast<real_t>(alpha), p.data(), ap.data(),
+                           x.data(), r.data(), path);  // line 5
+    const double rsnew = dot_d(r, r, path);            // line 6
     ++result.iterations;
     result.residual_norm = std::sqrt(rsnew);
     if (result.residual_norm < static_cast<double>(eps)) {  // line 7
@@ -102,9 +195,8 @@ CgResult cg_solve(std::size_t n, std::span<const T> a,
       return result;
     }
     const double beta = rsnew / rsold;
-    for (std::size_t i = 0; i < n; ++i) {       // line 10
-      p[i] = r[i] + static_cast<real_t>(beta) * p[i];
-    }
+    detail::xpby(n, r.data(), static_cast<real_t>(beta), p.data(),
+                 path);  // line 10
     rsold = rsnew;
   }
   return result;
@@ -118,7 +210,8 @@ CgResult cg_solve(std::size_t n, std::span<const T> a,
 template <typename T>
 CgResult pcg_solve(std::size_t n, std::span<const T> a,
                    std::span<const real_t> b, std::span<real_t> x,
-                   std::uint32_t fs, real_t eps) {
+                   std::uint32_t fs, real_t eps,
+                   simd::KernelPath path = simd::kDefaultPath) {
   CUMF_EXPECTS(a.size() == n * n, "pcg: A must be n*n");
   CUMF_EXPECTS(b.size() == n && x.size() == n, "pcg: vector size mismatch");
   CUMF_EXPECTS(fs > 0, "pcg: need at least one iteration");
@@ -134,58 +227,40 @@ CgResult pcg_solve(std::size_t n, std::span<const T> a,
     inv_diag[i] = real_t{1} / d;
   }
 
-  const auto matvec = [&](std::span<const real_t> in, std::span<real_t> out) {
-    for (std::size_t i = 0; i < n; ++i) {
-      double acc = 0.0;
-      const T* row = a.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        acc += static_cast<double>(load_as_float(row[j])) *
-               static_cast<double>(in[j]);
-      }
-      out[i] = static_cast<real_t>(acc);
-    }
-  };
-
-  matvec(x, r);
+  detail::gemv(n, a.data(), x.data(), r.data(), path);
   for (std::size_t i = 0; i < n; ++i) {
     r[i] = b[i] - r[i];
     z[i] = inv_diag[i] * r[i];
     p[i] = z[i];
   }
-  double rz_old = dot_d(r, z);
+  double rz_old = dot_d(r, z, path);
 
   CgResult result;
-  result.residual_norm = std::sqrt(dot_d(r, r));
+  result.residual_norm = std::sqrt(dot_d(r, r, path));
   if (result.residual_norm < static_cast<double>(eps)) {
     result.converged = true;
     return result;
   }
 
   for (std::uint32_t j = 0; j < fs; ++j) {
-    matvec(p, ap);
-    const double pap = dot_d(p, ap);
+    detail::gemv(n, a.data(), p.data(), ap.data(), path);
+    const double pap = dot_d(p, ap, path);
     if (pap <= 0.0) {
       break;
     }
     const double alpha = rz_old / pap;
-    for (std::size_t i = 0; i < n; ++i) {
-      x[i] += static_cast<real_t>(alpha) * p[i];
-      r[i] -= static_cast<real_t>(alpha) * ap[i];
-    }
+    detail::cg_step_update(n, static_cast<real_t>(alpha), p.data(), ap.data(),
+                           x.data(), r.data(), path);
     ++result.iterations;
-    result.residual_norm = std::sqrt(dot_d(r, r));
+    result.residual_norm = std::sqrt(dot_d(r, r, path));
     if (result.residual_norm < static_cast<double>(eps)) {
       result.converged = true;
       return result;
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      z[i] = inv_diag[i] * r[i];
-    }
-    const double rz_new = dot_d(r, z);
+    detail::hadamard(n, inv_diag.data(), r.data(), z.data(), path);
+    const double rz_new = dot_d(r, z, path);
     const double beta = rz_new / rz_old;
-    for (std::size_t i = 0; i < n; ++i) {
-      p[i] = z[i] + static_cast<real_t>(beta) * p[i];
-    }
+    detail::xpby(n, z.data(), static_cast<real_t>(beta), p.data(), path);
     rz_old = rz_new;
   }
   return result;
@@ -194,18 +269,18 @@ CgResult pcg_solve(std::size_t n, std::span<const T> a,
 extern template CgResult cg_solve<float>(std::size_t, std::span<const float>,
                                          std::span<const real_t>,
                                          std::span<real_t>, std::uint32_t,
-                                         real_t);
+                                         real_t, simd::KernelPath);
 extern template CgResult cg_solve<half>(std::size_t, std::span<const half>,
                                         std::span<const real_t>,
                                         std::span<real_t>, std::uint32_t,
-                                        real_t);
+                                        real_t, simd::KernelPath);
 extern template CgResult pcg_solve<float>(std::size_t, std::span<const float>,
                                           std::span<const real_t>,
                                           std::span<real_t>, std::uint32_t,
-                                          real_t);
+                                          real_t, simd::KernelPath);
 extern template CgResult pcg_solve<half>(std::size_t, std::span<const half>,
                                          std::span<const real_t>,
                                          std::span<real_t>, std::uint32_t,
-                                         real_t);
+                                         real_t, simd::KernelPath);
 
 }  // namespace cumf

@@ -5,8 +5,35 @@
 
 namespace cumf {
 
-double dot(std::span<const real_t> a, std::span<const real_t> b) {
+namespace {
+
+/// Lane-parallel Σ a[i]·b[i] with exact double products; the scalar tail
+/// appends sequentially, matching the reference loop's term values.
+double dot_simd(const real_t* a, const real_t* b, std::size_t n) {
+  simd::vd4 acc_lo = simd::vd4::zero();
+  simd::vd4 acc_hi = simd::vd4::zero();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const simd::vf8 av = simd::vf8::load(a + i);
+    const simd::vf8 bv = simd::vf8::load(b + i);
+    acc_lo.mul_acc_lo(av, bv);
+    acc_hi.mul_acc_hi(av, bv);
+  }
+  double acc = acc_lo.hsum() + acc_hi.hsum();
+  for (; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+double dot(std::span<const real_t> a, std::span<const real_t> b,
+           simd::KernelPath path) {
   CUMF_EXPECTS(a.size() == b.size(), "dot: size mismatch");
+  if (path == simd::KernelPath::simd) {
+    return dot_simd(a.data(), b.data(), a.size());
+  }
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
@@ -14,9 +41,18 @@ double dot(std::span<const real_t> a, std::span<const real_t> b) {
   return acc;
 }
 
-void axpy(real_t alpha, std::span<const real_t> x, std::span<real_t> y) {
+void axpy(real_t alpha, std::span<const real_t> x, std::span<real_t> y,
+          simd::KernelPath path) {
   CUMF_EXPECTS(x.size() == y.size(), "axpy: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) {
+  std::size_t i = 0;
+  if (path == simd::KernelPath::simd) {
+    const simd::vf8 av = simd::vf8::broadcast(alpha);
+    for (; i + 8 <= x.size(); i += 8) {
+      (simd::vf8::load(y.data() + i) + av * simd::vf8::load(x.data() + i))
+          .store(y.data() + i);
+    }
+  }
+  for (; i < x.size(); ++i) {
     y[i] += alpha * x[i];
   }
 }
@@ -40,9 +76,16 @@ double max_abs_diff(std::span<const real_t> a, std::span<const real_t> b) {
 }
 
 void symv(std::size_t n, std::span<const real_t> a,
-          std::span<const real_t> x, std::span<real_t> y) {
+          std::span<const real_t> x, std::span<real_t> y,
+          simd::KernelPath path) {
   CUMF_EXPECTS(a.size() == n * n, "symv: A must be n*n");
   CUMF_EXPECTS(x.size() == n && y.size() == n, "symv: vector size mismatch");
+  if (path == simd::KernelPath::simd) {
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = static_cast<real_t>(dot_simd(a.data() + i * n, x.data(), n));
+    }
+    return;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     double acc = 0.0;
     const real_t* row = a.data() + i * n;

@@ -1,5 +1,12 @@
 // Dense row-major matrix/vector containers used for the factor matrices
 // X (m×f), Θ (n×f) and the per-row Hermitian systems A_u (f×f).
+//
+// The vector helpers carry a KernelPath: the default runs the SIMD hot path
+// when the build enables it (CUMF_SIMD), passing KernelPath::scalar pins the
+// reference loops for differential testing. Elementwise ops (axpy, scal) are
+// bitwise identical across paths; reductions (dot, symv rows) accumulate in
+// double either way but the SIMD path reassociates lanes, so results agree
+// to a few ULP, not bitwise.
 #pragma once
 
 #include <span>
@@ -7,6 +14,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "simd/vec.hpp"
 
 namespace cumf {
 
@@ -56,10 +64,12 @@ class Matrix {
 // --- Small dense vector helpers (operate on spans, no allocation) ---
 
 /// dot(a, b) with double accumulation for robustness at f ≥ 100.
-double dot(std::span<const real_t> a, std::span<const real_t> b);
+double dot(std::span<const real_t> a, std::span<const real_t> b,
+           simd::KernelPath path = simd::kDefaultPath);
 
 /// y ← y + alpha * x
-void axpy(real_t alpha, std::span<const real_t> x, std::span<real_t> y);
+void axpy(real_t alpha, std::span<const real_t> x, std::span<real_t> y,
+          simd::KernelPath path = simd::kDefaultPath);
 
 /// x ← alpha * x
 void scal(real_t alpha, std::span<real_t> x);
@@ -72,6 +82,7 @@ double max_abs_diff(std::span<const real_t> a, std::span<const real_t> b);
 
 /// Dense symmetric matvec y = A·x where A is n×n row-major (full storage).
 void symv(std::size_t n, std::span<const real_t> a,
-          std::span<const real_t> x, std::span<real_t> y);
+          std::span<const real_t> x, std::span<real_t> y,
+          simd::KernelPath path = simd::kDefaultPath);
 
 }  // namespace cumf

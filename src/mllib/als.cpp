@@ -1,6 +1,7 @@
 #include "mllib/als.hpp"
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 #include "data/implicit.hpp"
 
 namespace cumf::mllib {
@@ -36,11 +37,19 @@ std::vector<real_t> AlsModel::transform(const RatingsCoo& pairs) const {
 
 std::vector<std::vector<ScoredItem>> AlsModel::recommend_for_all_users(
     std::size_t k) const {
-  std::vector<std::vector<ScoredItem>> out;
-  out.reserve(seen_.rows());
-  for (index_t u = 0; u < seen_.rows(); ++u) {
-    out.push_back(recommend_top_k(user_factors_, item_factors_, seen_, u, k));
-  }
+  // Each user's top-k is an independent scan over all items — an
+  // embarrassingly parallel m×n×f workload, by far the most expensive model
+  // method. Users write disjoint pre-sized slots, so no synchronization is
+  // needed beyond the pool's own join.
+  std::vector<std::vector<ScoredItem>> out(seen_.rows());
+  ThreadPool pool;
+  pool.parallel_for(out.size(), [&](std::size_t begin, std::size_t end,
+                                    std::size_t) {
+    for (std::size_t u = begin; u < end; ++u) {
+      out[u] = recommend_top_k(user_factors_, item_factors_, seen_,
+                               static_cast<index_t>(u), k);
+    }
+  });
   return out;
 }
 

@@ -1,0 +1,27 @@
+#include "simd/vec.hpp"
+
+namespace cumf::simd {
+
+const char* to_string(KernelPath path) noexcept {
+  return path == KernelPath::simd ? "simd" : "scalar";
+}
+
+const char* backend_name() noexcept {
+#if CUMF_SIMD_VEXT
+#if defined(__AVX512F__)
+  return "vector-ext/avx512";
+#elif defined(__AVX2__)
+  return "vector-ext/avx2";
+#elif defined(__AVX__)
+  return "vector-ext/avx";
+#elif defined(__SSE2__) || defined(__x86_64__)
+  return "vector-ext/sse2";
+#else
+  return "vector-ext/generic";
+#endif
+#else
+  return "scalar-fallback";
+#endif
+}
+
+}  // namespace cumf::simd

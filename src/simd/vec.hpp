@@ -1,0 +1,312 @@
+// Portable fixed-width SIMD layer for the hot-path kernels.
+//
+// The paper's kernels (get_hermitian tiling, the CG solve) live or die by
+// data-parallel arithmetic; on the CPU reproduction that means vector
+// registers. This header wraps GCC/Clang vector extensions behind small
+// fixed-width value types — vf8 (8 × float) for elementwise work, vd4
+// (4 × double) for reduction accumulators, vu8 (8 × uint32) for the bit
+// manipulation in the FP16 unpack — with a scalar-array fallback selected at
+// configure time (CMake option CUMF_SIMD, which defines CUMF_SIMD_ENABLED).
+//
+// Numerical contract, relied on by the differential tests:
+//  - elementwise ops (add/mul/select/convert) are bitwise identical to the
+//    scalar loops they replace — every lane performs the same IEEE op;
+//  - reductions (hsum after lane-parallel accumulation) reassociate the sum,
+//    so results are ULP-close, not bitwise equal, to a sequential loop.
+//    Products of two floats widened to double are exact (24+24 ≤ 53 bits),
+//    so lane accumulation in vd4 only reorders exactly-representable terms.
+//
+// Both kernel variants (scalar and SIMD) are always compiled; KernelPath
+// selects per call, and kDefaultPath reflects the configure-time choice.
+// With CUMF_SIMD=OFF the "simd" path still runs — through the scalar-array
+// fallback below — so differential tests are meaningful in every config.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace cumf::simd {
+
+/// Which implementation of a dual-path kernel to run.
+enum class KernelPath { scalar, simd };
+
+const char* to_string(KernelPath path) noexcept;
+
+#if defined(CUMF_SIMD_ENABLED) && CUMF_SIMD_ENABLED && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CUMF_SIMD_VEXT 1
+#else
+#define CUMF_SIMD_VEXT 0
+#endif
+
+/// True when the vector-extension backend is compiled in.
+inline constexpr bool kSimdCompiled = CUMF_SIMD_VEXT != 0;
+
+/// What production call sites use when the caller has no opinion.
+inline constexpr KernelPath kDefaultPath =
+    kSimdCompiled ? KernelPath::simd : KernelPath::scalar;
+
+/// Human-readable backend tag for bench/report output.
+const char* backend_name() noexcept;
+
+#if CUMF_SIMD_VEXT
+
+using f32x8 = float __attribute__((vector_size(32)));
+using f64x4 = double __attribute__((vector_size(32)));
+using u32x8 = std::uint32_t __attribute__((vector_size(32)));
+using i32x8 = std::int32_t __attribute__((vector_size(32)));
+using f32x4 = float __attribute__((vector_size(16)));
+
+/// 8 packed floats. Loads/stores go through memcpy, so unaligned pointers
+/// are fine (compiles to movups / vmovups).
+struct vf8 {
+  static constexpr std::size_t kLanes = 8;
+  f32x8 v;
+
+  static vf8 zero() noexcept { return {f32x8{}}; }
+  static vf8 broadcast(float x) noexcept {
+    return {f32x8{x, x, x, x, x, x, x, x}};
+  }
+  static vf8 load(const float* p) noexcept {
+    vf8 r;
+    std::memcpy(&r.v, p, sizeof(r.v));
+    return r;
+  }
+  void store(float* p) const noexcept { std::memcpy(p, &v, sizeof(v)); }
+
+  friend vf8 operator+(vf8 a, vf8 b) noexcept { return {a.v + b.v}; }
+  friend vf8 operator-(vf8 a, vf8 b) noexcept { return {a.v - b.v}; }
+  friend vf8 operator*(vf8 a, vf8 b) noexcept { return {a.v * b.v}; }
+  vf8& operator+=(vf8 o) noexcept {
+    v += o.v;
+    return *this;
+  }
+
+  float lane(std::size_t i) const noexcept { return v[i]; }
+};
+
+/// 4 packed doubles — reduction accumulator.
+struct vd4 {
+  static constexpr std::size_t kLanes = 4;
+  f64x4 v;
+
+  static vd4 zero() noexcept { return {f64x4{}}; }
+
+  /// Accumulates double(a_lane) * double(b_lane) for the low 4 lanes of a/b.
+  /// The float→double widening makes each product exact.
+  void mul_acc_lo(vf8 a, vf8 b) noexcept {
+    const f32x4 al = __builtin_shufflevector(a.v, a.v, 0, 1, 2, 3);
+    const f32x4 bl = __builtin_shufflevector(b.v, b.v, 0, 1, 2, 3);
+    v += __builtin_convertvector(al, f64x4) *
+         __builtin_convertvector(bl, f64x4);
+  }
+  /// Same for the high 4 lanes.
+  void mul_acc_hi(vf8 a, vf8 b) noexcept {
+    const f32x4 ah = __builtin_shufflevector(a.v, a.v, 4, 5, 6, 7);
+    const f32x4 bh = __builtin_shufflevector(b.v, b.v, 4, 5, 6, 7);
+    v += __builtin_convertvector(ah, f64x4) *
+         __builtin_convertvector(bh, f64x4);
+  }
+
+  /// Pairwise horizontal sum: (v0+v2) + (v1+v3).
+  double hsum() const noexcept { return (v[0] + v[2]) + (v[1] + v[3]); }
+};
+
+/// 8 packed uint32 — bit manipulation for the FP16 unpack/pack.
+struct vu8 {
+  static constexpr std::size_t kLanes = 8;
+  u32x8 v;
+
+  static vu8 broadcast(std::uint32_t x) noexcept {
+    return {u32x8{x, x, x, x, x, x, x, x}};
+  }
+  /// Widening load of 8 consecutive uint16 values.
+  static vu8 load_u16(const std::uint16_t* p) noexcept {
+    using u16x8 = std::uint16_t __attribute__((vector_size(16)));
+    u16x8 narrow;
+    std::memcpy(&narrow, p, sizeof(narrow));
+    return {__builtin_convertvector(narrow, u32x8)};
+  }
+  /// Narrowing store of the low 16 bits of each lane.
+  void store_u16(std::uint16_t* p) const noexcept {
+    using u16x8 = std::uint16_t __attribute__((vector_size(16)));
+    const u16x8 narrow = __builtin_convertvector(v, u16x8);
+    std::memcpy(p, &narrow, sizeof(narrow));
+  }
+
+  friend vu8 operator&(vu8 a, vu8 b) noexcept { return {a.v & b.v}; }
+  friend vu8 operator|(vu8 a, vu8 b) noexcept { return {a.v | b.v}; }
+  friend vu8 operator+(vu8 a, vu8 b) noexcept { return {a.v + b.v}; }
+  friend vu8 operator-(vu8 a, vu8 b) noexcept { return {a.v - b.v}; }
+  friend vu8 operator<<(vu8 a, int s) noexcept { return {a.v << s}; }
+  friend vu8 operator>>(vu8 a, int s) noexcept { return {a.v >> s}; }
+  vu8 operator~() const noexcept { return {~v}; }
+
+  /// Lanewise a == b / a >= b / a > b as all-ones / all-zeros masks.
+  static vu8 eq(vu8 a, vu8 b) noexcept {
+    return {std::bit_cast<u32x8>(a.v == b.v)};
+  }
+  static vu8 ge(vu8 a, vu8 b) noexcept {
+    return {std::bit_cast<u32x8>(a.v >= b.v)};
+  }
+  static vu8 gt(vu8 a, vu8 b) noexcept {
+    return {std::bit_cast<u32x8>(a.v > b.v)};
+  }
+  /// mask ? a : b, with mask lanes all-ones or all-zeros.
+  static vu8 select(vu8 mask, vu8 a, vu8 b) noexcept {
+    return {(mask.v & a.v) | (~mask.v & b.v)};
+  }
+
+  vf8 as_float() const noexcept { return {std::bit_cast<f32x8>(v)}; }
+  static vu8 from_float(vf8 f) noexcept { return {std::bit_cast<u32x8>(f.v)}; }
+};
+
+#else  // scalar-array fallback: same API, element loops
+
+struct vf8 {
+  static constexpr std::size_t kLanes = 8;
+  float v[8];
+
+  static vf8 zero() noexcept { return vf8{{0, 0, 0, 0, 0, 0, 0, 0}}; }
+  static vf8 broadcast(float x) noexcept {
+    return vf8{{x, x, x, x, x, x, x, x}};
+  }
+  static vf8 load(const float* p) noexcept {
+    vf8 r;
+    std::memcpy(r.v, p, sizeof(r.v));
+    return r;
+  }
+  void store(float* p) const noexcept { std::memcpy(p, v, sizeof(v)); }
+
+  friend vf8 operator+(vf8 a, vf8 b) noexcept {
+    vf8 r;
+    for (std::size_t i = 0; i < kLanes; ++i) r.v[i] = a.v[i] + b.v[i];
+    return r;
+  }
+  friend vf8 operator-(vf8 a, vf8 b) noexcept {
+    vf8 r;
+    for (std::size_t i = 0; i < kLanes; ++i) r.v[i] = a.v[i] - b.v[i];
+    return r;
+  }
+  friend vf8 operator*(vf8 a, vf8 b) noexcept {
+    vf8 r;
+    for (std::size_t i = 0; i < kLanes; ++i) r.v[i] = a.v[i] * b.v[i];
+    return r;
+  }
+  vf8& operator+=(vf8 o) noexcept {
+    for (std::size_t i = 0; i < kLanes; ++i) v[i] += o.v[i];
+    return *this;
+  }
+
+  float lane(std::size_t i) const noexcept { return v[i]; }
+};
+
+struct vd4 {
+  static constexpr std::size_t kLanes = 4;
+  double v[4];
+
+  static vd4 zero() noexcept { return vd4{{0, 0, 0, 0}}; }
+  void mul_acc_lo(vf8 a, vf8 b) noexcept {
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      v[i] += static_cast<double>(a.v[i]) * static_cast<double>(b.v[i]);
+    }
+  }
+  void mul_acc_hi(vf8 a, vf8 b) noexcept {
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      v[i] += static_cast<double>(a.v[i + 4]) * static_cast<double>(b.v[i + 4]);
+    }
+  }
+  double hsum() const noexcept { return (v[0] + v[2]) + (v[1] + v[3]); }
+};
+
+struct vu8 {
+  static constexpr std::size_t kLanes = 8;
+  std::uint32_t v[8];
+
+  static vu8 broadcast(std::uint32_t x) noexcept {
+    return vu8{{x, x, x, x, x, x, x, x}};
+  }
+  static vu8 load_u16(const std::uint16_t* p) noexcept {
+    vu8 r;
+    for (std::size_t i = 0; i < kLanes; ++i) r.v[i] = p[i];
+    return r;
+  }
+  void store_u16(std::uint16_t* p) const noexcept {
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      p[i] = static_cast<std::uint16_t>(v[i]);
+    }
+  }
+
+#define CUMF_VU8_BINOP(opname, expr)                     \
+  friend vu8 opname(vu8 a, vu8 b) noexcept {             \
+    vu8 r;                                               \
+    for (std::size_t i = 0; i < kLanes; ++i) r.v[i] = (expr); \
+    return r;                                            \
+  }
+  CUMF_VU8_BINOP(operator&, a.v[i] & b.v[i])
+  CUMF_VU8_BINOP(operator|, a.v[i] | b.v[i])
+  CUMF_VU8_BINOP(operator+, a.v[i] + b.v[i])
+  CUMF_VU8_BINOP(operator-, a.v[i] - b.v[i])
+#undef CUMF_VU8_BINOP
+  friend vu8 operator<<(vu8 a, int s) noexcept {
+    vu8 r;
+    for (std::size_t i = 0; i < kLanes; ++i) r.v[i] = a.v[i] << s;
+    return r;
+  }
+  friend vu8 operator>>(vu8 a, int s) noexcept {
+    vu8 r;
+    for (std::size_t i = 0; i < kLanes; ++i) r.v[i] = a.v[i] >> s;
+    return r;
+  }
+  vu8 operator~() const noexcept {
+    vu8 r;
+    for (std::size_t i = 0; i < kLanes; ++i) r.v[i] = ~v[i];
+    return r;
+  }
+
+  static vu8 eq(vu8 a, vu8 b) noexcept {
+    vu8 r;
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      r.v[i] = a.v[i] == b.v[i] ? ~0u : 0u;
+    }
+    return r;
+  }
+  static vu8 ge(vu8 a, vu8 b) noexcept {
+    vu8 r;
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      r.v[i] = a.v[i] >= b.v[i] ? ~0u : 0u;
+    }
+    return r;
+  }
+  static vu8 gt(vu8 a, vu8 b) noexcept {
+    vu8 r;
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      r.v[i] = a.v[i] > b.v[i] ? ~0u : 0u;
+    }
+    return r;
+  }
+  static vu8 select(vu8 mask, vu8 a, vu8 b) noexcept {
+    return (mask & a) | (~mask & b);
+  }
+
+  vf8 as_float() const noexcept {
+    vf8 r;
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      r.v[i] = std::bit_cast<float>(v[i]);
+    }
+    return r;
+  }
+  static vu8 from_float(vf8 f) noexcept {
+    vu8 r;
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      r.v[i] = std::bit_cast<std::uint32_t>(f.v[i]);
+    }
+    return r;
+  }
+};
+
+#endif  // CUMF_SIMD_VEXT
+
+}  // namespace cumf::simd

@@ -274,6 +274,103 @@ TEST(ThreadPool, ConcurrentSubmitsFromManyWorkers) {
   EXPECT_EQ(counter.load(), 32 * 16);
 }
 
+TEST(ThreadPool, ParallelForStaticCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(97);
+  std::atomic<int> calls{0};
+  pool.parallel_for_static(
+      touched.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        calls.fetch_add(1);
+        for (std::size_t i = begin; i < end; ++i) {
+          touched[i].fetch_add(1);
+        }
+      });
+  for (const auto& t : touched) {
+    EXPECT_EQ(t.load(), 1);
+  }
+  // Static partition: exactly one contiguous call per worker.
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, ParallelForWorkerIdsStayWithinPoolSize) {
+  // The guided schedule hands each worker id to exactly one task, so bodies
+  // may index per-worker scratch with it; ids must never exceed size().
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> per_worker(4);
+  pool.parallel_for(1000,
+                    [&](std::size_t begin, std::size_t end, std::size_t w) {
+                      ASSERT_LT(w, 4u);
+                      per_worker[w].fetch_add(static_cast<int>(end - begin));
+                    });
+  int total = 0;
+  for (auto& c : per_worker) {
+    total += c.load();
+  }
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(ThreadPool, ParallelForChunksRespectsBoundaries) {
+  ThreadPool pool(2);
+  const std::vector<std::size_t> bounds{0, 3, 3, 10, 11};
+  std::vector<std::atomic<int>> touched(11);
+  std::atomic<int> calls{0};
+  pool.parallel_for_chunks(
+      bounds, [&](std::size_t begin, std::size_t end, std::size_t) {
+        calls.fetch_add(1);
+        // Every (begin, end) must be one of the non-empty chunks verbatim.
+        const bool known = (begin == 0 && end == 3) ||
+                           (begin == 3 && end == 10) ||
+                           (begin == 10 && end == 11);
+        EXPECT_TRUE(known) << begin << ".." << end;
+        for (std::size_t i = begin; i < end; ++i) {
+          touched[i].fetch_add(1);
+        }
+      });
+  EXPECT_EQ(calls.load(), 3);  // the empty [3,3) chunk is skipped
+  for (const auto& t : touched) {
+    EXPECT_EQ(t.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForChunksRejectsBadBounds) {
+  ThreadPool pool(1);
+  const std::vector<std::size_t> not_from_zero{1, 5};
+  const std::vector<std::size_t> descending{0, 5, 3};
+  const std::vector<std::size_t> too_short{0};
+  const auto body = [](std::size_t, std::size_t, std::size_t) {};
+  EXPECT_THROW(pool.parallel_for_chunks(not_from_zero, body), CheckError);
+  EXPECT_THROW(pool.parallel_for_chunks(descending, body), CheckError);
+  EXPECT_THROW(pool.parallel_for_chunks(too_short, body), CheckError);
+}
+
+TEST(ThreadPool, GuidedScheduleSurvivesPathologicalSkew) {
+  // One index carries ~90% of the total work. A static partition strands
+  // the whole range behind whichever worker draws it; the guided schedule
+  // must still complete promptly with every index executed exactly once,
+  // and no worker may observe a torn per-worker accumulator (TSan-audited).
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 256;
+  std::vector<std::atomic<int>> touched(kN);
+  std::vector<double> per_worker(4, 0.0);
+  pool.parallel_for(kN, [&](std::size_t begin, std::size_t end,
+                            std::size_t w) {
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      // Index 0 is the pathological row: ~90% of all iterations.
+      const int spins = i == 0 ? 90000 : 40;
+      for (int s = 0; s < spins; ++s) {
+        acc += std::sqrt(static_cast<double>(s + i));
+      }
+      touched[i].fetch_add(1);
+    }
+    per_worker[w] += acc;  // per-worker slot: must be race-free
+  });
+  for (const auto& t : touched) {
+    EXPECT_EQ(t.load(), 1);
+  }
+}
+
 // ---------- Table ----------
 
 TEST(Table, FormatsAlignedColumns) {

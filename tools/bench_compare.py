@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare or gate bench_hotpath JSON outputs.
+
+Two modes:
+
+Regression diff — compare a baseline run against a new run and fail when any
+kernel's SIMD time regressed by more than --max-regress (fraction):
+
+    bench_compare.py baseline.json new.json --max-regress 0.15
+
+Speedup gate — assert a named entry of the "speedups" section meets a
+minimum (used by the CI perf-smoke job):
+
+    bench_compare.py --assert-speedup hermitian_f100 1.5 BENCH_hotpath.json
+
+Exit code 0 on pass, 1 on any violation, 2 on usage/parse errors.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def diff(baseline_path, new_path, max_regress):
+    base = load(baseline_path)
+    new = load(new_path)
+    base_kernels = base.get("kernels", {})
+    new_kernels = new.get("kernels", {})
+    failures = []
+    print(f"{'kernel':32} {'base simd ns':>14} {'new simd ns':>14} {'delta':>8}")
+    for name in sorted(base_kernels):
+        if name not in new_kernels:
+            print(f"{name:32} {'(missing in new run)':>38}")
+            continue
+        b = base_kernels[name]["simd_ns"]
+        n = new_kernels[name]["simd_ns"]
+        delta = (n - b) / b
+        flag = ""
+        if delta > max_regress:
+            flag = "  <-- REGRESSION"
+            failures.append((name, delta))
+        print(f"{name:32} {b:14.1f} {n:14.1f} {delta:+7.1%}{flag}")
+    for name in sorted(set(new_kernels) - set(base_kernels)):
+        print(f"{name:32} {'(new kernel)':>38}")
+    if failures:
+        worst = max(failures, key=lambda f: f[1])
+        print(
+            f"\nFAIL: {len(failures)} kernel(s) regressed beyond "
+            f"{max_regress:.0%} (worst: {worst[0]} {worst[1]:+.1%})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no kernel regressed beyond {max_regress:.0%}")
+    return 0
+
+
+def assert_speedup(name, minimum, path):
+    data = load(path)
+    speedups = data.get("speedups", {})
+    if name not in speedups:
+        print(
+            f"bench_compare: no speedup entry '{name}' in {path} "
+            f"(have: {', '.join(sorted(speedups))})",
+            file=sys.stderr,
+        )
+        return 2
+    actual = speedups[name]
+    if actual < minimum:
+        print(
+            f"FAIL: speedup '{name}' is {actual:.2f}x, below the "
+            f"{minimum:.2f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: speedup '{name}' is {actual:.2f}x (floor {minimum:.2f}x)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="baseline.json new.json")
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.15,
+        help="allowed fractional slowdown per kernel (default 0.15)",
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        nargs=3,
+        metavar=("NAME", "MIN", "FILE"),
+        help="gate mode: require speedups[NAME] >= MIN in FILE",
+    )
+    args = parser.parse_args()
+
+    if args.assert_speedup:
+        name, minimum, path = args.assert_speedup
+        try:
+            minimum = float(minimum)
+        except ValueError:
+            parser.error("--assert-speedup MIN must be a number")
+        sys.exit(assert_speedup(name, minimum, path))
+
+    if len(args.files) != 2:
+        parser.error("diff mode needs exactly two files (baseline, new)")
+    sys.exit(diff(args.files[0], args.files[1], args.max_regress))
+
+
+if __name__ == "__main__":
+    main()
