@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "core/als.hpp"
@@ -46,25 +47,8 @@ struct KernelRow {
   double speedup = 0.0;  ///< scalar ns / simd ns
 };
 
-/// Repeats `fn` until `min_seconds` of wall time accumulates (at least
-/// `min_reps` calls) and returns the average ns per call.
-double time_ns(const std::function<void()>& fn, double min_seconds,
-               int min_reps) {
-  fn();  // warm-up, touches caches and faults pages
-  std::size_t reps = 0;
-  Stopwatch sw;
-  do {
-    for (int i = 0; i < min_reps; ++i) {
-      fn();
-    }
-    reps += static_cast<std::size_t>(min_reps);
-  } while (sw.seconds() < min_seconds);
-  return sw.seconds() * 1e9 / static_cast<double>(reps);
-}
-
-/// Folds the result into a volatile sink so the optimizer cannot delete a
-/// benchmarked loop whose output is otherwise unused.
-volatile double g_sink = 0.0;
+using bench::g_sink;
+using bench::time_ns;
 
 KernelRow bench_pair(const std::string& name, double flops_per_op,
                      double bytes_per_op, double min_seconds, int min_reps,

@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <optional>
 #include <string>
 
 #include "common/rng.hpp"
+#include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "core/als.hpp"
 #include "core/kernel_stats.hpp"
@@ -22,6 +24,27 @@
 #include "sparse/split.hpp"
 
 namespace cumf::bench {
+
+/// Repeats `fn` until `min_seconds` of wall time accumulates (at least
+/// `min_reps` calls per check) and returns the average ns per call. The
+/// one timing loop every bench shares — keep micro-benchmarks comparable.
+inline double time_ns(const std::function<void()>& fn, double min_seconds,
+                      int min_reps) {
+  fn();  // warm-up, touches caches and faults pages
+  std::size_t reps = 0;
+  Stopwatch sw;
+  do {
+    for (int i = 0; i < min_reps; ++i) {
+      fn();
+    }
+    reps += static_cast<std::size_t>(min_reps);
+  } while (sw.seconds() < min_seconds);
+  return sw.seconds() * 1e9 / static_cast<double>(reps);
+}
+
+/// Folds a result into a volatile sink so the optimizer cannot delete a
+/// benchmarked loop whose output is otherwise unused.
+inline volatile double g_sink = 0.0;
 
 /// A scaled dataset with its train/test split and full-scale statistics.
 struct PreparedDataset {

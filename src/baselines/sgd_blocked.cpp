@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "prof/prof.hpp"
 
 namespace cumf {
 
@@ -29,6 +30,7 @@ BlockedSgd::BlockedSgd(const RatingsCoo& train, const SgdOptions& options)
 }
 
 void BlockedSgd::run_epoch() {
+  CUMF_PROF_SCOPE("sgd_blocked_epoch", "sgd");
   const real_t alpha = sgd_alpha(options_, epochs_);
   const auto schedule = grid_.diagonal_schedule();
 

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "prof/prof.hpp"
 
 namespace cumf {
 
@@ -18,6 +19,7 @@ HogwildSgd::HogwildSgd(const RatingsCoo& train, const SgdOptions& options)
 }
 
 void HogwildSgd::run_epoch() {
+  CUMF_PROF_SCOPE("sgd_hogwild_epoch", "sgd");
   const real_t alpha = sgd_alpha(options_, epochs_);
   const auto& samples = train_.entries();
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "prof/prof.hpp"
 
 namespace cumf {
 
@@ -37,6 +38,7 @@ const std::vector<Rating>& NomadSgd::shard_column(int worker,
 }
 
 void NomadSgd::run_epoch() {
+  CUMF_PROF_SCOPE("sgd_nomad_epoch", "sgd");
   const real_t alpha = sgd_alpha(options_, epochs_);
   const auto w = static_cast<std::size_t>(options_.workers);
 

@@ -23,7 +23,19 @@ thread_local std::size_t t_task_depth = 0;
 /// waits) must only add the delta, or the outer frames get double-counted
 /// and the drained predicate can never hold.
 thread_local std::size_t t_depth_contributed = 0;
+
+/// Global profiler hook; relaxed is enough — installation happens before
+/// the instrumented run and callbacks tolerate a stale nullptr/pointer.
+std::atomic<ThreadPool::Observer*> g_observer{nullptr};
 }  // namespace
+
+void ThreadPool::set_observer(Observer* observer) noexcept {
+  g_observer.store(observer, std::memory_order_release);
+}
+
+ThreadPool::Observer* ThreadPool::observer() noexcept {
+  return g_observer.load(std::memory_order_acquire);
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -31,7 +43,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -52,21 +64,35 @@ bool ThreadPool::on_worker_thread() const noexcept {
 
 void ThreadPool::submit(std::function<void()> task) {
   CUMF_EXPECTS(task != nullptr, "cannot submit an empty task");
+  // Capture the tag outside the lock: the observer may take its own locks
+  // (e.g. the tracer's flow-id map) and must see the submitting thread's
+  // span context, not the pool's critical section.
+  std::uint64_t tag = 0;
+  if (Observer* obs = observer()) {
+    tag = obs->task_submitted();
+  }
   {
     std::lock_guard lock(mutex_);
     CUMF_EXPECTS(!stopping_, "pool is shutting down");
-    queue_.push(std::move(task));
+    queue_.push(Task{std::move(task), tag});
     ++in_flight_;
   }
   cv_.notify_all();
 }
 
 void ThreadPool::run_one(std::unique_lock<std::mutex>& lock) {
-  auto task = std::move(queue_.front());
+  Task task = std::move(queue_.front());
   queue_.pop();
   lock.unlock();
   ++t_task_depth;
-  task();
+  Observer* const obs = task.tag != 0 ? observer() : nullptr;
+  if (obs != nullptr) {
+    obs->task_started(task.tag);
+  }
+  task.fn();
+  if (obs != nullptr) {
+    obs->task_finished(task.tag);
+  }
   --t_task_depth;
   lock.lock();
   // The decrement happens after the task body: a task that submits
@@ -184,8 +210,11 @@ void ThreadPool::parallel_for_chunks(std::span<const std::size_t> bounds,
   wait_idle();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker) {
   t_worker_pool = this;
+  if (Observer* obs = observer()) {
+    obs->worker_started(worker);
+  }
   std::unique_lock lock(mutex_);
   for (;;) {
     cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });

@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -19,6 +20,29 @@ namespace cumf {
 
 class ThreadPool {
  public:
+  /// Instrumentation hook for profilers (the cuprof tracer installs one).
+  /// The observer is global to all pools and not owned; callbacks must be
+  /// cheap, thread-safe and noexcept. `task_submitted` runs on the
+  /// submitting thread and returns an opaque tag (0 = untracked) that is
+  /// handed back to `task_started`/`task_finished` on the executing thread,
+  /// so a profiler can stitch submit→run edges (parent span, flow arrows)
+  /// across threads. The hook inverts the layering: common/ defines the
+  /// interface, prof/ implements it, and the pool never depends on the
+  /// profiler.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    virtual void worker_started(std::size_t worker) noexcept = 0;
+    virtual std::uint64_t task_submitted() noexcept = 0;
+    virtual void task_started(std::uint64_t tag) noexcept = 0;
+    virtual void task_finished(std::uint64_t tag) noexcept = 0;
+  };
+
+  /// Installs (or clears, with nullptr) the global observer. The caller
+  /// keeps ownership and must keep the observer alive while installed.
+  static void set_observer(Observer* observer) noexcept;
+  static Observer* observer() noexcept;
+
   /// Creates `threads` workers. 0 means hardware_concurrency (min 1).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
@@ -67,14 +91,20 @@ class ThreadPool {
                            const ForBody& body);
 
  private:
-  void worker_loop();
+  /// A queued task plus the observer tag captured at submit time.
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t tag = 0;
+  };
+
+  void worker_loop(std::size_t worker);
   bool on_worker_thread() const noexcept;
   /// Pops and runs one task. Caller holds `lock`; the lock is released
   /// while the task runs and re-acquired afterwards.
   void run_one(std::unique_lock<std::mutex>& lock);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   mutable std::mutex mutex_;
   /// One cv for all transitions (task available, pool idle, stopping):
   /// submitters, workers, and helpers all wait with predicates, so the

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "half/half.hpp"
+#include "prof/prof.hpp"
 
 namespace cumf {
 
@@ -100,11 +101,16 @@ void AlsEngine::update_rows(const CsrMatrix& ratings, const Matrix& fixed,
                             Matrix& solved, index_t begin, index_t end,
                             WorkerContext& ctx) {
   const std::size_t f = options_.f;
+  // One flag check per chunk: when the cuprof tracer is off the loop runs
+  // the plain hot path with no clock reads (and with CUMF_PROF=OFF this
+  // whole branch folds to `false` at compile time anyway).
+  const bool profiled = prof::Tracer::enabled();
   for (index_t u = begin; u < end; ++u) {
     const index_t nnz_u = ratings.row_nnz(u);
     if (nnz_u == 0) {
       continue;  // unobserved row: keep the previous factor
     }
+    const std::uint64_t t0 = profiled ? prof::now_ns() : 0;
     if (options_.tiled_hermitian) {
       get_hermitian_row(ratings, fixed, u, options_.lambda,
                         options_.hermitian, ctx.ws, ctx.a_scratch,
@@ -112,6 +118,12 @@ void AlsEngine::update_rows(const CsrMatrix& ratings, const Matrix& fixed,
     } else {
       get_hermitian_row_reference(ratings, fixed, u, options_.lambda,
                                   ctx.a_scratch, ctx.b_scratch);
+    }
+    std::uint64_t t1 = 0;
+    if (profiled) {
+      t1 = prof::now_ns();
+      prof::Tracer::instance().complete_span("get_hermitian", "als", t0, t1);
+      ctx.herm_ns += t1 - t0;
     }
     // Traffic per rating: one θ row (FP32 even when staging rounds to FP16
     // in "shared memory" — the global read is full precision), the rating
@@ -126,6 +138,11 @@ void AlsEngine::update_rows(const CsrMatrix& ratings, const Matrix& fixed,
     const bool ok =
         ctx.solver.solve(ctx.a_scratch, ctx.b_scratch, solved.row(u));
     CUMF_ENSURES(ok, "ALS system unsolvable despite ridge regularization");
+    if (profiled) {
+      const std::uint64_t t2 = prof::now_ns();
+      prof::Tracer::instance().complete_span("solve", "als", t1, t2);
+      ctx.solve_ns += t2 - t1;
+    }
     const double ff = static_cast<double>(f);
     if (options_.solver.kind == SolverKind::CgFp32 ||
         options_.solver.kind == SolverKind::PcgFp32 ||
@@ -173,18 +190,30 @@ void AlsEngine::update_side(const CsrMatrix& ratings, const Matrix& fixed,
 }
 
 void AlsEngine::run_epoch() {
+  CUMF_PROF_SCOPE("als_epoch", "als");
   // Measured per-epoch counters: reset so callers always see "last epoch".
   for (WorkerContext& ctx : workers_) {
     ctx.herm_ops = OpCounts{};
     ctx.solve_ops = OpCounts{};
+    ctx.herm_ns = 0;
+    ctx.solve_ns = 0;
   }
-  update_side(r_, theta_, x_);
-  update_side(rt_, x_, theta_);
+  {
+    CUMF_PROF_SCOPE("update_X", "als");
+    update_side(r_, theta_, x_);
+  }
+  {
+    CUMF_PROF_SCOPE("update_Theta", "als");
+    update_side(rt_, x_, theta_);
+  }
   herm_ops_ = OpCounts{};
   solve_ops_ = OpCounts{};
+  phase_ = PhaseSeconds{};
   for (const WorkerContext& ctx : workers_) {
     herm_ops_ += ctx.herm_ops;
     solve_ops_ += ctx.solve_ops;
+    phase_.hermitian += static_cast<double>(ctx.herm_ns) / 1e9;
+    phase_.solve += static_cast<double>(ctx.solve_ns) / 1e9;
   }
   ++epochs_;
 }
@@ -192,9 +221,7 @@ void AlsEngine::run_epoch() {
 SolveStats AlsEngine::solve_stats() const noexcept {
   SolveStats total;
   for (const WorkerContext& ctx : workers_) {
-    total.systems += ctx.solver.stats().systems;
-    total.cg_iterations += ctx.solver.stats().cg_iterations;
-    total.failures += ctx.solver.stats().failures;
+    total += ctx.solver.stats();
   }
   return total;
 }

@@ -81,6 +81,17 @@ class AlsEngine {
   }
   const OpCounts& solve_ops_per_epoch() const noexcept { return solve_ops_; }
 
+  /// Measured host seconds per kernel phase, summed across workers (so with
+  /// W busy workers an epoch's wall time is roughly total/W). Collected
+  /// only while the cuprof tracer is enabled; zero otherwise.
+  struct PhaseSeconds {
+    double hermitian = 0.0;  ///< get_hermitian_row (load+compute+write)
+    double solve = 0.0;      ///< the batched solve step
+  };
+  const PhaseSeconds& phase_seconds_last_epoch() const noexcept {
+    return phase_;
+  }
+
  private:
   void update_side(const CsrMatrix& ratings, const Matrix& fixed,
                    Matrix& solved);
@@ -99,6 +110,8 @@ class AlsEngine {
     std::vector<real_t> b_scratch;
     OpCounts herm_ops;
     OpCounts solve_ops;
+    std::uint64_t herm_ns = 0;   ///< profiled time in get_hermitian_row
+    std::uint64_t solve_ns = 0;  ///< profiled time in the solve step
   };
 
   void update_rows(const CsrMatrix& ratings, const Matrix& fixed,
@@ -115,6 +128,7 @@ class AlsEngine {
   int epochs_ = 0;
   OpCounts herm_ops_;
   OpCounts solve_ops_;
+  PhaseSeconds phase_;
 };
 
 /// Largest tile size ≤ `requested` that divides f (so any f works with the

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "prof/prof.hpp"
 
 namespace cumf {
 
@@ -11,6 +12,7 @@ SolveStats solve_batched(std::size_t batch, std::size_t f,
                          std::span<const real_t> a,
                          std::span<const real_t> b, std::span<real_t> x,
                          const SolverOptions& options, ThreadPool* pool) {
+  CUMF_PROF_SCOPE("solve_batched", "solver");
   CUMF_EXPECTS(a.size() == batch * f * f, "solve_batched: A batch shape");
   CUMF_EXPECTS(b.size() == batch * f, "solve_batched: b batch shape");
   CUMF_EXPECTS(x.size() == batch * f, "solve_batched: x batch shape");
@@ -34,9 +36,7 @@ SolveStats solve_batched(std::size_t batch, std::size_t f,
                          x.subspan(i * f, f));
     }
     const std::lock_guard lock(merge_mutex);
-    total.systems += solver.stats().systems;
-    total.cg_iterations += solver.stats().cg_iterations;
-    total.failures += solver.stats().failures;
+    total += solver.stats();
   });
   return total;
 }

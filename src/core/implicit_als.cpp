@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "prof/prof.hpp"
 
 namespace cumf {
 
@@ -98,6 +99,7 @@ void ImplicitAlsEngine::update_side(const CsrMatrix& interactions,
 }
 
 void ImplicitAlsEngine::run_epoch() {
+  CUMF_PROF_SCOPE("implicit_als_epoch", "als");
   update_side(r_, theta_, x_);
   update_side(rt_, x_, theta_);
   ++epochs_;

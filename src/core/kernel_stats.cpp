@@ -102,6 +102,18 @@ const char* to_string(LoadScheme scheme) {
   return "unknown";
 }
 
+gpusim::TraceStats hermitian_load_stats(const gpusim::DeviceSpec& dev,
+                                        const UpdateShape& shape,
+                                        const AlsKernelConfig& config,
+                                        const CsrMatrix* sample_rows) {
+  CUMF_EXPECTS(shape.rows > 0 && shape.cols > 0 && shape.nnz > 0,
+               "update shape must be non-empty");
+  const gpusim::Occupancy occ = hermitian_occupancy(dev, config);
+  const auto block_rows = sample_block_rows(
+      shape, std::max(1, occ.blocks_per_sm), /*rounds=*/2, sample_rows);
+  return simulate_hermitian_load(dev, trace_config(config), block_rows);
+}
+
 gpusim::Occupancy hermitian_occupancy(const gpusim::DeviceSpec& dev,
                                       const AlsKernelConfig& config) {
   gpusim::KernelResources res;

@@ -16,6 +16,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/interconnect.hpp"
 #include "gpusim/occupancy.hpp"
+#include "gpusim/trace.hpp"
 #include "sparse/csr.hpp"
 
 namespace cumf {
@@ -86,6 +87,14 @@ UpdatePhaseTimes update_phase_times(const gpusim::DeviceSpec& dev,
                                     const UpdateShape& shape,
                                     const AlsKernelConfig& config,
                                     const CsrMatrix* sample_rows = nullptr);
+
+/// Cache-trace statistics of get_hermitian's load phase alone — the same
+/// simulation update_phase_times() runs internally, exposed for telemetry
+/// (simulated L1/L2 hit rates and DRAM bytes per epoch).
+gpusim::TraceStats hermitian_load_stats(const gpusim::DeviceSpec& dev,
+                                        const UpdateShape& shape,
+                                        const AlsKernelConfig& config,
+                                        const CsrMatrix* sample_rows = nullptr);
 
 /// Full-epoch simulated seconds: update-X + update-Θ on `gpus` devices.
 /// Multi-GPU runs partition rows per device and all-gather the updated

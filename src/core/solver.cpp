@@ -74,13 +74,13 @@ bool SystemSolver::solve(std::span<const real_t> a,
     case SolverKind::CgFp32: {
       const CgResult r = cg_solve<float>(f_, a, b, x, options_.cg_fs,
                                          options_.cg_eps, options_.path);
-      stats_.cg_iterations += r.iterations;
+      stats_.record_cg(r.iterations);
       return true;
     }
     case SolverKind::PcgFp32: {
       const CgResult r = pcg_solve<float>(f_, a, b, x, options_.cg_fs,
                                           options_.cg_eps, options_.path);
-      stats_.cg_iterations += r.iterations;
+      stats_.record_cg(r.iterations);
       return true;
     }
     case SolverKind::CgFp16: {
@@ -88,10 +88,11 @@ bool SystemSolver::solve(std::span<const real_t> a,
       // moves half the bytes (Solution 4). b and x stay FP32.
       float_to_half_n(a.data(), scratch_fp16_.data(), a.size(),
                       options_.path);
+      stats_.fp16_converted += a.size();
       const CgResult r =
           cg_solve<half>(f_, std::span<const half>(scratch_fp16_), b, x,
                          options_.cg_fs, options_.cg_eps, options_.path);
-      stats_.cg_iterations += r.iterations;
+      stats_.record_cg(r.iterations);
       return true;
     }
   }

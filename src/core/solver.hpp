@@ -6,6 +6,8 @@
 // included as a second exact solver since every A_u is SPD.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -38,9 +40,47 @@ struct SolverOptions {
 
 /// Accumulated behaviour of the solver across a batch of systems.
 struct SolveStats {
+  /// Histogram buckets for per-solve CG iteration counts: index i counts
+  /// solves that took exactly i iterations, the last bucket collects
+  /// everything at or above kCgHistMax (practical fs values are ≤ 32).
+  static constexpr std::size_t kCgHistMax = 32;
+
   std::uint64_t systems = 0;
   std::uint64_t cg_iterations = 0;  ///< total CG steps over all systems
   std::uint64_t failures = 0;       ///< singular / non-SPD systems skipped
+  /// A-matrix elements converted to FP16 (CG-FP16 staging volume; ×2 for
+  /// bytes). Feeds the telemetry stream's pack-volume counter.
+  std::uint64_t fp16_converted = 0;
+  std::array<std::uint64_t, kCgHistMax + 1> cg_hist{};
+
+  void record_cg(std::uint32_t iterations) noexcept {
+    cg_iterations += iterations;
+    ++cg_hist[std::min<std::size_t>(iterations, kCgHistMax)];
+  }
+
+  SolveStats& operator+=(const SolveStats& o) noexcept {
+    systems += o.systems;
+    cg_iterations += o.cg_iterations;
+    failures += o.failures;
+    fp16_converted += o.fp16_converted;
+    for (std::size_t i = 0; i < cg_hist.size(); ++i) {
+      cg_hist[i] += o.cg_hist[i];
+    }
+    return *this;
+  }
+
+  /// Delta between two cumulative snapshots (per-epoch telemetry); all
+  /// fields are monotone, so `newer - older` is well-defined.
+  friend SolveStats operator-(SolveStats newer, const SolveStats& older) {
+    newer.systems -= older.systems;
+    newer.cg_iterations -= older.cg_iterations;
+    newer.failures -= older.failures;
+    newer.fp16_converted -= older.fp16_converted;
+    for (std::size_t i = 0; i < newer.cg_hist.size(); ++i) {
+      newer.cg_hist[i] -= older.cg_hist[i];
+    }
+    return newer;
+  }
 };
 
 /// Per-call scratch so the hot loop never allocates.

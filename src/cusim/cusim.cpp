@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "prof/prof.hpp"
+
 namespace cumf::cusim {
 
 /// Internal accessor for KernelCtx's private shared-memory span.
@@ -80,6 +82,8 @@ void run_block(const LaunchConfig& config, const Kernel& kernel,
 }  // namespace
 
 void launch(const LaunchConfig& config, const Kernel& kernel) {
+  CUMF_PROF_SCOPE(config.name != nullptr ? config.name : "cusim_kernel",
+                  "cusim");
   CUMF_EXPECTS(config.grid.count() > 0, "empty grid");
   CUMF_EXPECTS(config.block.count() > 0, "empty block");
   CUMF_EXPECTS(kernel != nullptr, "null kernel");

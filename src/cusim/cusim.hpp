@@ -197,6 +197,9 @@ struct LaunchConfig {
   /// block lifecycle, and checked spans report accesses. The fast path
   /// (nullptr) is untouched.
   AccessObserver* check = nullptr;
+  /// Kernel name for the cuprof trace (must outlive the launch; string
+  /// literals are the expected use). nullptr traces as "cusim_kernel".
+  const char* name = nullptr;
 };
 
 /// Executes `kernel` over the whole grid. Blocks run sequentially (their

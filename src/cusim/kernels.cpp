@@ -46,6 +46,7 @@ HermitianBatchResult hermitian_kernel_launch(const CsrMatrix& r,
   config.block = Dim3{std::max(pairs, static_cast<unsigned>(f)), 1, 1};
   config.shared_bytes = (staged_floats + f) * sizeof(real_t);
   config.check = check;
+  config.name = "get_hermitian_kernel";
 
   // The __global__ function: every thread of the block runs this coroutine.
   // Every shared/global access goes through cucheck spans: reads via
@@ -162,6 +163,7 @@ void cg_kernel_launch(std::size_t batch, std::size_t f,
   config.block = Dim3{static_cast<unsigned>(f), 1, 1};
   config.shared_bytes = 5 * f * sizeof(real_t);
   config.check = check;
+  config.name = "cg_kernel";
 
   const unsigned red_start = next_pow2(static_cast<unsigned>(f)) / 2;
 

@@ -49,6 +49,19 @@ struct TraceStats {
   double l2_bytes(int line_bytes) const noexcept {
     return static_cast<double>(l2_hits + dram_accesses) * line_bytes;
   }
+  /// Fraction of line accesses served by L1 (0 when nothing was traced).
+  double l1_hit_rate() const noexcept {
+    return line_accesses == 0
+               ? 0.0
+               : static_cast<double>(l1_hits) / static_cast<double>(line_accesses);
+  }
+  /// Fraction of L1 misses served by L2.
+  double l2_hit_rate() const noexcept {
+    const std::uint64_t misses = l2_hits + dram_accesses;
+    return misses == 0 ? 0.0
+                       : static_cast<double>(l2_hits) /
+                             static_cast<double>(misses);
+  }
 };
 
 /// One warp-wide memory instruction: the distinct cache-line addresses it

@@ -39,6 +39,15 @@ double ConvergenceTracker::best_rmse() const {
   return best;
 }
 
+std::string ConvergenceTracker::to_csv() const {
+  std::ostringstream os;
+  os << "epoch,seconds,rmse\n";
+  for (const Point& p : points_) {
+    os << p.epoch << ',' << p.seconds << ',' << p.rmse << '\n';
+  }
+  return os.str();
+}
+
 std::string ConvergenceTracker::series(const std::string& label) const {
   std::ostringstream os;
   os << "# " << label << "  (seconds  test-RMSE)\n";

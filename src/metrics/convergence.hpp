@@ -34,6 +34,10 @@ class ConvergenceTracker {
   /// Renders "seconds rmse" rows, one per epoch — the Fig. 6/8 series.
   std::string series(const std::string& label) const;
 
+  /// Machine-readable companion of series(): "epoch,seconds,rmse" CSV with
+  /// a header row, ready for pandas/gnuplot.
+  std::string to_csv() const;
+
  private:
   std::vector<Point> points_;
 };

@@ -1,0 +1,129 @@
+#include "prof/counters.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cumf::prof {
+
+std::uint64_t Histogram::bucket_key(double value) noexcept {
+  if (!(value > 0.0)) {
+    return 0;
+  }
+  const auto v = static_cast<std::uint64_t>(std::llround(value));
+  if (v <= 128) {
+    return v;
+  }
+  // Next power of two at or above v: coarse tail buckets keep the map small
+  // for wide-range values (bytes, nnz) while staying merge-stable.
+  std::uint64_t p = 256;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+void Histogram::observe(double value) noexcept {
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_key(value)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (const auto& [key, n] : other.buckets_) {
+    buckets_[key] += n;
+  }
+}
+
+void CounterRegistry::add(const std::string& name, double delta) {
+  counters_[name] += delta;
+}
+
+void CounterRegistry::observe(const std::string& name, double value) {
+  histograms_[name].observe(value);
+}
+
+double CounterRegistry::value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+const Histogram* CounterRegistry::histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void CounterRegistry::merge(const CounterRegistry& other) {
+  for (const auto& [name, v] : other.counters_) {
+    counters_[name] += v;
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_[name].merge(h);
+  }
+}
+
+void CounterRegistry::clear() {
+  counters_.clear();
+  histograms_.clear();
+}
+
+namespace {
+void append_number(std::string& out, double v) {
+  char buf[40];
+  if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    out += buf;
+  } else {
+    out += "null";
+  }
+}
+}  // namespace
+
+std::string CounterRegistry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    append_number(out, v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":{\"count\":";
+    out += std::to_string(h.count());
+    out += ",\"sum\":";
+    append_number(out, h.sum());
+    out += ",\"mean\":";
+    append_number(out, h.mean());
+    out += ",\"buckets\":{";
+    bool first_bucket = true;
+    for (const auto& [key, n] : h.buckets()) {
+      if (!first_bucket) {
+        out += ',';
+      }
+      first_bucket = false;
+      out += '"';
+      out += std::to_string(key);
+      out += "\":";
+      out += std::to_string(n);
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace cumf::prof

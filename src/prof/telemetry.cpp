@@ -1,0 +1,122 @@
+#include "prof/telemetry.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+namespace cumf::prof {
+
+void JsonObject::key(const std::string& k) {
+  if (!body_.empty()) {
+    body_ += ',';
+  }
+  body_ += '"';
+  for (const char c : k) {
+    if (c == '"' || c == '\\') {
+      body_ += '\\';
+    }
+    body_ += c;
+  }
+  body_ += "\":";
+}
+
+JsonObject& JsonObject::set(const std::string& k, double value) {
+  key(k);
+  if (std::isfinite(value)) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", value);
+    body_ += buf;
+  } else {
+    body_ += "null";  // JSON has no NaN/Inf
+  }
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& k, std::int64_t value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& k, std::uint64_t value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& k, const std::string& value) {
+  key(k);
+  body_ += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        body_ += "\\\"";
+        break;
+      case '\\':
+        body_ += "\\\\";
+        break;
+      case '\n':
+        body_ += "\\n";
+        break;
+      case '\t':
+        body_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          body_ += buf;
+        } else {
+          body_ += c;
+        }
+    }
+  }
+  body_ += '"';
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& k, bool value) {
+  key(k);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObject& JsonObject::set_null(const std::string& k) {
+  key(k);
+  body_ += "null";
+  return *this;
+}
+
+JsonObject& JsonObject::set_raw(const std::string& k,
+                                const std::string& json) {
+  key(k);
+  body_ += json;
+  return *this;
+}
+
+TelemetryWriter::~TelemetryWriter() { close(); }
+
+bool TelemetryWriter::open(const std::string& path) {
+  close();
+  file_ = std::fopen(path.c_str(), "w");
+  return file_ != nullptr;
+}
+
+void TelemetryWriter::write(const JsonObject& record) {
+  if (file_ == nullptr) {
+    return;
+  }
+  const std::string line = record.str();
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+  ++lines_;
+}
+
+void TelemetryWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace cumf::prof

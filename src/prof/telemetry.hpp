@@ -1,0 +1,68 @@
+// cuprof epoch telemetry: a JSONL stream, one self-describing JSON object
+// per line.
+//
+// Line 1 is a header record ({"type":"header","schema":1,...}) describing
+// the run (dataset shape, solver, seed, device model); every following line
+// is an epoch record with RMSE, measured phase seconds, the CG iteration
+// histogram, FP16 pack volume, and the gpusim cache-model numbers
+// (simulated L1/L2 hit rate, DRAM bytes). tools/trace_report.py validates
+// and summarizes the schema; docs/observability.md documents it.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace cumf::prof {
+
+/// Minimal incremental JSON object builder (the repo carries no JSON
+/// dependency). Values are rendered immediately; nested objects compose via
+/// set_raw(child.str()).
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, double value);
+  JsonObject& set(const std::string& key, std::int64_t value);
+  JsonObject& set(const std::string& key, std::uint64_t value);
+  JsonObject& set(const std::string& key, int value) {
+    return set(key, static_cast<std::int64_t>(value));
+  }
+  JsonObject& set(const std::string& key, const std::string& value);
+  JsonObject& set(const std::string& key, const char* value) {
+    return set(key, std::string(value));
+  }
+  JsonObject& set(const std::string& key, bool value);
+  JsonObject& set_null(const std::string& key);
+  /// Inserts pre-rendered JSON (an object, array, or number) verbatim.
+  JsonObject& set_raw(const std::string& key, const std::string& json);
+
+  std::string str() const { return "{" + body_ + "}"; }
+  bool empty() const noexcept { return body_.empty(); }
+
+ private:
+  void key(const std::string& k);
+  std::string body_;
+};
+
+/// Appends one JSON object per line to a file, flushing after every line so
+/// a crashed or interrupted run still leaves a readable prefix.
+class TelemetryWriter {
+ public:
+  TelemetryWriter() = default;
+  ~TelemetryWriter();
+
+  TelemetryWriter(const TelemetryWriter&) = delete;
+  TelemetryWriter& operator=(const TelemetryWriter&) = delete;
+
+  bool open(const std::string& path);
+  bool is_open() const noexcept { return file_ != nullptr; }
+  void write(const JsonObject& record);
+  void close();
+
+  std::size_t lines_written() const noexcept { return lines_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::size_t lines_ = 0;
+};
+
+}  // namespace cumf::prof

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/check.hpp"
@@ -402,6 +403,30 @@ TEST(Stopwatch, MeasuresNonNegativeMonotoneTime) {
   EXPECT_GE(t2, t1);
   sw.reset();
   EXPECT_LT(sw.seconds(), 1.0);
+}
+
+TEST(Stopwatch, LapMeasuresIntervalsWhileSecondsAccumulates) {
+  Stopwatch sw;
+  const double lap1 = sw.lap();
+  const double lap2 = sw.lap();
+  const double total = sw.seconds();
+  EXPECT_GE(lap1, 0.0);
+  EXPECT_GE(lap2, 0.0);
+  // seconds() keeps counting from construction, so the laps partition it.
+  EXPECT_GE(total, lap1 + lap2 - 1e-9);
+  sw.reset();
+  EXPECT_LT(sw.lap(), 1.0);
+}
+
+TEST(Stopwatch, NowNsIsMonotoneAcrossThreads) {
+  const std::uint64_t a = Stopwatch::now_ns();
+  const std::uint64_t b = Stopwatch::now_ns();
+  EXPECT_GE(b, a);
+  // The epoch is process-wide: another thread's reading is on the same
+  // timeline, not near zero.
+  std::uint64_t from_thread = 0;
+  std::thread([&from_thread] { from_thread = Stopwatch::now_ns(); }).join();
+  EXPECT_GE(from_thread, a);
 }
 
 }  // namespace

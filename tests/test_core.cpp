@@ -205,6 +205,48 @@ TEST(SystemSolver, CgCountsIterations) {
   EXPECT_LE(solver.stats().cg_iterations, 6u);
 }
 
+TEST(SystemSolver, CgIterationHistogramTracksSolves) {
+  std::vector<real_t> a{4, 1, 1, 3};
+  std::vector<real_t> b{1, 2};
+  std::vector<real_t> x{0, 0};
+  SolverOptions options;
+  options.kind = SolverKind::CgFp32;
+  options.cg_fs = 6;
+  SystemSolver solver(2, options);
+  ASSERT_TRUE(solver.solve(a, b, x));
+  x.assign({0, 0});
+  ASSERT_TRUE(solver.solve(a, b, x));
+  const SolveStats& stats = solver.stats();
+  std::uint64_t histogram_total = 0;
+  std::uint64_t weighted = 0;
+  for (std::size_t i = 0; i < stats.cg_hist.size(); ++i) {
+    histogram_total += stats.cg_hist[i];
+    weighted += stats.cg_hist[i] * i;
+  }
+  EXPECT_EQ(histogram_total, 2u);  // one bucket entry per solve
+  EXPECT_EQ(weighted, stats.cg_iterations);
+}
+
+TEST(SolveStats, DeltaOfCumulativeSnapshots) {
+  SolveStats older;
+  older.systems = 10;
+  older.cg_iterations = 55;
+  older.fp16_converted = 100;
+  older.cg_hist[5] = 5;
+  older.cg_hist[6] = 5;
+  SolveStats newer = older;
+  newer.systems += 4;
+  newer.cg_iterations += 24;
+  newer.fp16_converted += 40;
+  newer.cg_hist[6] += 4;
+  const SolveStats delta = newer - older;
+  EXPECT_EQ(delta.systems, 4u);
+  EXPECT_EQ(delta.cg_iterations, 24u);
+  EXPECT_EQ(delta.fp16_converted, 40u);
+  EXPECT_EQ(delta.cg_hist[5], 0u);
+  EXPECT_EQ(delta.cg_hist[6], 4u);
+}
+
 // ---------- AlsEngine ----------
 
 TEST(Als, RmseDecreasesAndReachesNoiseFloor) {

@@ -2,6 +2,7 @@
 // conversion, I/O, and the metrics (RMSE, convergence tracking, roofline).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <set>
@@ -292,6 +293,17 @@ TEST(Convergence, RejectsNonMonotoneTime) {
   ConvergenceTracker t;
   t.record(2.0, 1.0, 1);
   EXPECT_THROW(t.record(1.0, 0.9, 2), CheckError);
+}
+
+TEST(Convergence, ToCsvHasHeaderAndOneRowPerEpoch) {
+  ConvergenceTracker t;
+  t.record(1.0, 1.5, 1);
+  t.record(2.5, 1.25, 2);
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv.rfind("epoch,seconds,rmse\n", 0), 0u);
+  EXPECT_NE(csv.find("1,1,1.5\n"), std::string::npos);
+  EXPECT_NE(csv.find("2,2.5,1.25\n"), std::string::npos);
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 3);
 }
 
 TEST(Convergence, SeriesContainsAllPoints) {

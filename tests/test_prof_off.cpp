@@ -1,0 +1,53 @@
+// Null-expansion test: with CUMF_PROF_FORCE_OFF defined before the header,
+// the instrumentation macros must compile to no-ops — no events recorded
+// even while the tracer is enabled — and expand cleanly in every syntactic
+// position the codebase uses them in (statement, if-branch, loop body).
+// Linking this TU into the same binary as the instrumented test_prof.cpp
+// also exercises the ODR guarantee: only the macros differ per TU.
+#define CUMF_PROF_FORCE_OFF 1
+
+#include <gtest/gtest.h>
+
+#include "prof/prof.hpp"
+
+namespace cumf::prof {
+namespace {
+
+TEST(ProfForcedOff, MacrosExpandToNoOps) {
+  Tracer::instance().disable();
+  Tracer::instance().reset();
+  Tracer::instance().enable();
+
+  const std::uint64_t before = Tracer::instance().local().pushed();
+  {
+    CUMF_PROF_SCOPE("invisible", "off");
+    CUMF_PROF_COUNTER("invisible_counter", 1.0);
+  }
+  if (true)
+    CUMF_PROF_SCOPE("branch_position");
+  for (int i = 0; i < 3; ++i) CUMF_PROF_SCOPE("loop_position");
+  EXPECT_EQ(Tracer::instance().local().pushed(), before);
+
+  // The tracer object itself still works from a null TU — only the macros
+  // are compiled out, so manual recording (e.g. the ALS phase timing path)
+  // keeps functioning.
+  Tracer::instance().complete_span("manual", "off", 10, 20);
+  EXPECT_EQ(Tracer::instance().local().pushed(), before + 1);
+
+  Tracer::instance().disable();
+  Tracer::instance().reset();
+}
+
+TEST(ProfForcedOff, CounterArgumentIsNotEvaluated) {
+  int evaluated = 0;
+  auto side_effect = [&evaluated] {
+    ++evaluated;
+    return 1.0;
+  };
+  CUMF_PROF_COUNTER("never", side_effect());
+  EXPECT_EQ(evaluated, 0) << "null CUMF_PROF_COUNTER must not evaluate its "
+                             "value expression";
+}
+
+}  // namespace
+}  // namespace cumf::prof

@@ -14,14 +14,25 @@
 //   --implicit A   treat input as implicit with confidence alpha = A
 //   --movielens    input uses the u::v::r::ts format (1-based ids)
 //   --test FRAC    hold out FRAC for test RMSE reporting (default 0.1)
+//   --seed N       RNG seed for the holdout split and factor init (default 1)
 //   --cucheck      run one compute-sanitizer-style checked iteration
 //                  (racecheck + memcheck + coalescing lint) before training;
 //                  aborts if the training kernels show hazards
+//   --trace F      write a Chrome trace-event JSON of the run to F
+//                  (load it in chrome://tracing or ui.perfetto.dev)
+//   --metrics F    append per-epoch telemetry JSONL to F (RMSE, phase
+//                  seconds, CG iteration histogram, FP16 pack volume,
+//                  simulated cache hit rates); tools/trace_report.py
+//                  summarizes and validates it
+//   --prof-summary print a per-span timing table (count/mean/p50/p95) after
+//                  training
 //
 // Input files: triplet "u v r" lines by default (LIBMF/NOMAD format).
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <string>
 
@@ -29,11 +40,17 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
+#include "core/als.hpp"
+#include "core/kernel_stats.hpp"
 #include "data/loaders.hpp"
 #include "data/model_io.hpp"
+#include "gpusim/device.hpp"
+#include "metrics/convergence.hpp"
 #include "metrics/ranking.hpp"
 #include "metrics/rmse.hpp"
 #include "mllib/als.hpp"
+#include "prof/prof.hpp"
+#include "prof/telemetry.hpp"
 #include "sparse/split.hpp"
 
 using namespace cumf;
@@ -47,7 +64,9 @@ namespace {
                "[-t N]\n"
                "             [--solver lu|cholesky|cg|cg16|pcg] [--fs N]\n"
                "             [--workers N] [--implicit ALPHA] [--movielens]\n"
-               "             [--test FRAC] [--cucheck]\n"
+               "             [--test FRAC] [--seed N] [--cucheck]\n"
+               "             [--trace FILE] [--metrics FILE] "
+               "[--prof-summary]\n"
                "  cumf_train predict <model> <pairs> \n"
                "  cumf_train recommend <model> <ratings> <user> [-k N]\n");
   std::exit(2);
@@ -79,6 +98,11 @@ int cmd_train(int argc, char** argv) {
   LoaderOptions loader;
   double test_fraction = 0.1;
   bool cucheck = false;
+  std::uint64_t seed = 1;
+  bool seed_given = false;
+  std::string trace_path;
+  std::string metrics_path;
+  bool prof_summary = false;
 
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -109,9 +133,29 @@ int cmd_train(int argc, char** argv) {
       test_fraction = std::atof(next());
     } else if (arg == "--cucheck") {
       cucheck = true;
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+      seed_given = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
+    } else if (arg == "--prof-summary") {
+      prof_summary = true;
     } else {
+      std::fprintf(stderr, "cumf_train: unknown option '%s'\n", arg.c_str());
       usage();
     }
+  }
+
+  // Profiling is runtime-gated: any telemetry flag turns the tracer on
+  // (the per-epoch phase seconds come from the same clock reads as the
+  // trace spans, so --metrics needs it too).
+  const bool profiling =
+      !trace_path.empty() || !metrics_path.empty() || prof_summary;
+  if (profiling) {
+    prof::Tracer::instance().enable();
+    prof::Tracer::instance().set_thread_name("main");
   }
 
   std::printf("loading %s...\n", ratings_path.c_str());
@@ -119,7 +163,7 @@ int cmd_train(int argc, char** argv) {
   std::printf("  %u x %u, %llu ratings\n", ratings.rows(), ratings.cols(),
               static_cast<unsigned long long>(ratings.nnz()));
 
-  Rng rng(1);
+  Rng rng(seed);
   const auto split = test_fraction > 0
                          ? split_holdout(ratings, test_fraction, rng)
                          : TrainTestSplit{ratings, RatingsCoo(
@@ -151,28 +195,206 @@ int cmd_train(int argc, char** argv) {
     }
   }
 
-  auto als = mllib::Als()
-                 .set_rank(f)
-                 .set_reg_param(lambda)
-                 .set_max_iter(epochs)
-                 .set_num_blocks(workers)
-                 .set_solver(solver, fs);
+  FactorModel model;
+  Stopwatch sw;
   if (implicit_alpha) {
-    als.set_implicit_prefs(true).set_alpha(*implicit_alpha);
+    // Implicit path: the mllib facade drives ImplicitAlsEngine; per-epoch
+    // telemetry is an explicit-path feature (spans still record).
+    auto als = mllib::Als()
+                   .set_rank(f)
+                   .set_reg_param(lambda)
+                   .set_max_iter(epochs)
+                   .set_num_blocks(workers)
+                   .set_solver(solver, fs)
+                   .set_implicit_prefs(true)
+                   .set_alpha(*implicit_alpha);
+    if (seed_given) {
+      als.set_seed(seed);
+    }
+    const auto fitted = als.fit(split.train);
+    std::printf("trained %d epochs (f=%d, %s) in %.2f s\n", epochs, f,
+                to_string(solver), sw.seconds());
+    model = FactorModel{fitted.user_factors(), fitted.item_factors()};
+  } else {
+    // Explicit path: drive AlsEngine directly so every epoch yields a test
+    // RMSE point and, with --metrics, one telemetry record.
+    AlsOptions options;
+    options.f = static_cast<std::size_t>(f);
+    options.lambda = static_cast<real_t>(lambda);
+    options.solver.kind = solver;
+    options.solver.cg_fs = fs;
+    options.workers = workers;
+    options.seed = seed;
+
+    prof::TelemetryWriter telemetry;
+    gpusim::TraceStats cache_sim;
+    const bool have_test = split.test.nnz() > 0;
+    if (!metrics_path.empty()) {
+      if (!telemetry.open(metrics_path)) {
+        std::fprintf(stderr, "cumf_train: cannot open '%s' for telemetry\n",
+                     metrics_path.c_str());
+        return 1;
+      }
+      // The cache-model numbers come from gpusim's trace-driven simulation
+      // of get_hermitian's load phase on the paper's Maxwell device, fed
+      // with this dataset's real row structure. The kernel (and thus the
+      // hit profile) is epoch-invariant, so simulate once up front.
+      const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
+      AlsKernelConfig kc;
+      kc.f = f;
+      kc.tile = pick_tile(options.f, kc.tile);
+      kc.solver = solver;
+      kc.cg_fs = fs;
+      const UpdateShape shape{static_cast<double>(ratings.rows()),
+                              static_cast<double>(ratings.cols()),
+                              static_cast<double>(split.train.nnz())};
+      prof::JsonObject header;
+      header.set("type", "header").set("schema", 1);
+      header.set("dataset", ratings_path);
+      header.set("rows", static_cast<std::uint64_t>(ratings.rows()));
+      header.set("cols", static_cast<std::uint64_t>(ratings.cols()));
+      header.set("train_nnz", static_cast<std::uint64_t>(split.train.nnz()));
+      header.set("test_nnz", static_cast<std::uint64_t>(split.test.nnz()));
+      header.set("f", f).set("lambda", lambda);
+      header.set("solver", to_string(solver));
+      header.set("fs", static_cast<std::uint64_t>(fs));
+      header.set("workers", workers).set("epochs", epochs);
+      header.set("seed", seed);
+      header.set("sim_device", dev.name);
+      if (split.train.nnz() > 0) {
+        cache_sim = hermitian_load_stats(dev, shape, kc,
+                                         /*sample_rows=*/nullptr);
+      }
+      telemetry.write(header);
+    }
+
+    AlsEngine engine(split.train, options);
+    ConvergenceTracker tracker;
+    SolveStats prev_stats;
+    double final_rmse = std::numeric_limits<double>::quiet_NaN();
+    for (int epoch = 1; epoch <= epochs; ++epoch) {
+      engine.run_epoch();
+      const double epoch_s = sw.lap();
+
+      double eval_s = 0.0;
+      if (have_test) {
+        const std::uint64_t t0 = prof::now_ns();
+        final_rmse = rmse(split.test, engine.user_factors(),
+                          engine.item_factors());
+        const std::uint64_t t1 = prof::now_ns();
+        eval_s = static_cast<double>(t1 - t0) * 1e-9;
+        if (prof::Tracer::enabled()) {
+          prof::Tracer::instance().complete_span("rmse_eval", "metrics", t0,
+                                                 t1);
+          CUMF_PROF_COUNTER("test_rmse", final_rmse);
+        }
+        tracker.record(sw.seconds(), final_rmse, epoch);
+      }
+
+      if (telemetry.is_open()) {
+        const SolveStats cumulative = engine.solve_stats();
+        const SolveStats delta = cumulative - prev_stats;
+        prev_stats = cumulative;
+        const auto& phase = engine.phase_seconds_last_epoch();
+        const auto& herm_ops = engine.hermitian_ops_per_epoch();
+        const auto& solve_ops = engine.solve_ops_per_epoch();
+
+        prof::JsonObject rec;
+        rec.set("type", "epoch").set("epoch", epoch);
+        rec.set("seconds", sw.seconds()).set("epoch_s", epoch_s);
+        if (have_test) {
+          rec.set("rmse", final_rmse);
+        } else {
+          rec.set_null("rmse");
+        }
+        prof::JsonObject phase_obj;
+        phase_obj.set("hermitian", phase.hermitian);
+        phase_obj.set("solve", phase.solve);
+        phase_obj.set("rmse_eval", eval_s);
+        rec.set_raw("phase_s", phase_obj.str());
+
+        prof::JsonObject solver_obj;
+        solver_obj.set("systems", delta.systems);
+        solver_obj.set("cg_iterations", delta.cg_iterations);
+        solver_obj.set("failures", delta.failures);
+        solver_obj.set("fp16_pack_bytes", delta.fp16_converted * 2);
+        std::string hist = "{";
+        for (std::size_t i = 0; i < delta.cg_hist.size(); ++i) {
+          if (delta.cg_hist[i] == 0) {
+            continue;
+          }
+          if (hist.size() > 1) {
+            hist += ',';
+          }
+          hist += '"' + std::to_string(i) + "\":" +
+                  std::to_string(delta.cg_hist[i]);
+        }
+        hist += '}';
+        solver_obj.set_raw("cg_hist", hist);
+        rec.set_raw("solver", solver_obj.str());
+
+        prof::JsonObject ops;
+        ops.set("hermitian_flops", herm_ops.flops);
+        ops.set("hermitian_bytes", herm_ops.bytes());
+        ops.set("solve_flops", solve_ops.flops);
+        ops.set("solve_bytes", solve_ops.bytes());
+        if (phase.hermitian > 0) {
+          ops.set("hermitian_gflops",
+                  herm_ops.flops / phase.hermitian * 1e-9);
+        }
+        if (phase.solve > 0) {
+          ops.set("solve_gbps", solve_ops.bytes() / phase.solve * 1e-9);
+        }
+        rec.set_raw("host_ops", ops.str());
+
+        prof::JsonObject sim;
+        sim.set("l1_hit_rate", cache_sim.l1_hit_rate());
+        sim.set("l2_hit_rate", cache_sim.l2_hit_rate());
+        sim.set("dram_bytes", cache_sim.dram_bytes(128));
+        rec.set_raw("sim_cache", sim.str());
+
+        telemetry.write(rec);
+      }
+    }
+
+    std::printf("trained %d epochs (f=%d, %s) in %.2f s\n", epochs, f,
+                to_string(solver), sw.seconds());
+    if (have_test) {
+      std::printf("test RMSE: %.4f\n", final_rmse);
+      std::printf("%s", tracker.to_csv().c_str());
+    }
+    if (telemetry.is_open()) {
+      std::printf("telemetry written to %s (%zu records)\n",
+                  metrics_path.c_str(), telemetry.lines_written());
+    }
+    model = FactorModel{engine.user_factors(), engine.item_factors()};
   }
 
-  Stopwatch sw;
-  const auto model = als.fit(split.train);
-  std::printf("trained %d epochs (f=%d, %s) in %.2f s\n", epochs, f,
-              to_string(solver), sw.seconds());
-  if (split.test.nnz() > 0 && !implicit_alpha) {
-    std::printf("test RMSE: %.4f\n",
-                rmse(split.test, model.user_factors(),
-                     model.item_factors()));
-  }
-  write_model_file(model_path,
-                   FactorModel{model.user_factors(), model.item_factors()});
+  write_model_file(model_path, model);
   std::printf("model written to %s\n", model_path.c_str());
+
+  if (!trace_path.empty()) {
+    if (!prof::Tracer::instance().write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "cumf_train: cannot write trace to '%s'\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
+  if (prof_summary) {
+    std::printf("\n%-24s %8s %12s %10s %10s %10s %10s\n", "span", "count",
+                "total ms", "mean us", "p50 us", "p95 us", "max us");
+    for (const auto& st : prof::Tracer::instance().summarize()) {
+      std::printf("%-24s %8llu %12.3f %10.2f %10.2f %10.2f %10.2f\n",
+                  st.name.c_str(), static_cast<unsigned long long>(st.count),
+                  st.total_ms, st.mean_us, st.p50_us, st.p95_us, st.max_us);
+    }
+    const auto dropped = prof::Tracer::instance().total_dropped();
+    if (dropped > 0) {
+      std::printf("(%llu events dropped by ring wrap)\n",
+                  static_cast<unsigned long long>(dropped));
+    }
+  }
   return 0;
 }
 
