@@ -1,0 +1,194 @@
+// Deterministic, seed-driven fault injection for the robustness layer.
+//
+// Every recovery path in the trainer — CG breakdown → exact-LU fallback,
+// FP16 pack overflow → FP32 retry, torn checkpoint → rejection diagnostic,
+// crash-at-epoch → resume — is exercised by *injecting* the fault rather
+// than hoping a dataset triggers it. The injector is a process-wide
+// singleton with an atomic enable flag so the hot path pays one relaxed
+// load per row when disarmed; all fault decisions are pure functions of
+// (plan.seed, site, row), so a given plan corrupts exactly the same systems
+// on every run, every schedule, and every worker count — the recovery tests
+// can therefore assert exact counts.
+//
+// Header-only on purpose: the hooks live in cumf_core (AlsEngine) and
+// cumf_data (atomic_write_file), and a header keeps the dependency graph
+// free of a new library edge.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace cumf::analysis {
+
+/// What to break, and how often. All-default means "inject nothing".
+/// Probabilities are per linear system (one ALS row update); decisions are
+/// hashed from (seed, site, row), not drawn from a shared stream, so they
+/// are stable under any execution order.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Poison one element of A with a quiet NaN: CG breaks down, the LU
+  /// fallback fails too, and the engine must keep the previous factor.
+  double nan_a_prob = 0.0;
+  /// Poison one element of b with +inf: non-finite initial residual.
+  double inf_b_prob = 0.0;
+  /// Flip a diagonal entry of A strongly negative: A becomes indefinite, CG
+  /// hits pᵀAp ≤ 0, and the exact LU fallback still solves the system.
+  double indefinite_a_prob = 0.0;
+  /// Inflate a diagonal entry of A past half::max(): the FP16 pack
+  /// overflows to inf and the solver must retry the system in FP32.
+  double fp16_overflow_prob = 0.0;
+  /// Simulated crash: the trainer calls should_crash_after_epoch() after
+  /// persisting each checkpoint and _Exit()s mid-run when it matches.
+  int crash_at_epoch = -1;
+  /// Truncate atomic_write_file payloads to this many bytes (0 = off),
+  /// modelling a torn write that survived a crash. Readers must detect the
+  /// damage via length/CRC checks.
+  std::size_t short_write_bytes = 0;
+};
+
+/// Tallies of faults actually injected (relaxed atomics: exact totals are
+/// read after the parallel region ends).
+struct FaultCounts {
+  std::atomic<std::uint64_t> nan_a{0};
+  std::atomic<std::uint64_t> inf_b{0};
+  std::atomic<std::uint64_t> indefinite_a{0};
+  std::atomic<std::uint64_t> fp16_overflow{0};
+  std::atomic<std::uint64_t> short_writes{0};
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& instance() {
+    static FaultInjector injector;
+    return injector;
+  }
+
+  /// Cheap disarmed-path check; hook sites gate on this before calling in.
+  static bool enabled() noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  void arm(const FaultPlan& plan) noexcept {
+    plan_ = plan;
+    reset_counts();
+    armed_.store(true, std::memory_order_release);
+  }
+
+  void disarm() noexcept {
+    armed_.store(false, std::memory_order_release);
+    plan_ = FaultPlan{};
+  }
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  const FaultCounts& counts() const noexcept { return counts_; }
+
+  /// Hook: called by AlsEngine between get_hermitian and the solve with the
+  /// assembled system. `site` distinguishes the update-X / update-Θ sweeps
+  /// so the two sides draw independent fault decisions.
+  void corrupt_system(std::uint32_t site, index_t row, std::span<real_t> a,
+                      std::span<real_t> b) noexcept {
+    const std::size_t f = b.size();
+    if (f == 0 || a.size() < f * f) {
+      return;
+    }
+    if (hit(plan_.nan_a_prob, site, row, 0x11)) {
+      a[pick(site, row, 0x12, a.size())] =
+          std::numeric_limits<real_t>::quiet_NaN();
+      counts_.nan_a.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (hit(plan_.inf_b_prob, site, row, 0x21)) {
+      b[pick(site, row, 0x22, f)] = std::numeric_limits<real_t>::infinity();
+      counts_.inf_b.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (hit(plan_.indefinite_a_prob, site, row, 0x31)) {
+      const std::size_t d = pick(site, row, 0x32, f);
+      real_t& diag = a[d * f + d];
+      diag = -1e3f * (std::fabs(diag) + 1.0f);
+      counts_.indefinite_a.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (hit(plan_.fp16_overflow_prob, site, row, 0x41)) {
+      const std::size_t d = pick(site, row, 0x42, f);
+      a[d * f + d] += 1e5f;  // past half::max() = 65504: FP16 pack → inf
+      counts_.fp16_overflow.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Hook: consulted by the trainer after each checkpoint is durably on
+  /// disk; true means "die here" (the caller _Exit()s, skipping cleanup —
+  /// exactly what a crash would do).
+  bool should_crash_after_epoch(int epoch) const noexcept {
+    return plan_.crash_at_epoch >= 0 && epoch == plan_.crash_at_epoch;
+  }
+
+  /// Hook: consulted by atomic_write_file. Returns the byte limit to apply
+  /// to the payload (SIZE_MAX = write everything) and counts applications.
+  std::size_t short_write_limit() noexcept {
+    if (plan_.short_write_bytes == 0) {
+      return std::numeric_limits<std::size_t>::max();
+    }
+    counts_.short_writes.fetch_add(1, std::memory_order_relaxed);
+    return plan_.short_write_bytes;
+  }
+
+ private:
+  FaultInjector() = default;
+
+  void reset_counts() noexcept {
+    counts_.nan_a = 0;
+    counts_.inf_b = 0;
+    counts_.indefinite_a = 0;
+    counts_.fp16_overflow = 0;
+    counts_.short_writes = 0;
+  }
+
+  /// splitmix64 over the decision coordinates → uniform in [0, 1).
+  static std::uint64_t mix(std::uint64_t seed, std::uint32_t site,
+                           index_t row, std::uint32_t salt) noexcept {
+    std::uint64_t z = seed ^ (static_cast<std::uint64_t>(site) << 48) ^
+                      (static_cast<std::uint64_t>(salt) << 32) ^ row;
+    z += 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  bool hit(double prob, std::uint32_t site, index_t row,
+           std::uint32_t salt) const noexcept {
+    if (prob <= 0.0) {
+      return false;
+    }
+    const double u =
+        static_cast<double>(mix(plan_.seed, site, row, salt) >> 11) *
+        0x1.0p-53;
+    return u < prob;
+  }
+
+  std::size_t pick(std::uint32_t site, index_t row, std::uint32_t salt,
+                   std::size_t n) const noexcept {
+    return static_cast<std::size_t>(mix(plan_.seed, site, row, salt) %
+                                    static_cast<std::uint64_t>(n));
+  }
+
+  inline static std::atomic<bool> armed_{false};
+  FaultPlan plan_;
+  FaultCounts counts_;
+};
+
+/// RAII arm/disarm for tests: faults never leak into the next test case.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlan& plan) {
+    FaultInjector::instance().arm(plan);
+  }
+  ~ScopedFaultPlan() { FaultInjector::instance().disarm(); }
+
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace cumf::analysis

@@ -54,6 +54,27 @@ class Rng {
   /// Convenience: a generator `k` jumps ahead of `*this` (for worker k).
   Rng split(unsigned k) const noexcept;
 
+  /// Complete generator state, exposed so checkpoints can persist an Rng
+  /// mid-stream and resume it bit-for-bit (xoshiro words plus the Box-Muller
+  /// cached deviate — without the cache, a resumed normal() stream would
+  /// diverge on the very next call).
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+
+  State state() const noexcept {
+    return State{s_, cached_normal_, has_cached_normal_};
+  }
+  void set_state(const State& state) noexcept {
+    s_ = state.s;
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+  }
+
  private:
   std::array<std::uint64_t, 4> s_;
   double cached_normal_ = 0.0;

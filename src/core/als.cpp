@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/faultinject.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "half/half.hpp"
@@ -125,6 +126,13 @@ void AlsEngine::update_rows(const CsrMatrix& ratings, const Matrix& fixed,
       prof::Tracer::instance().complete_span("get_hermitian", "als", t0, t1);
       ctx.herm_ns += t1 - t0;
     }
+    if (analysis::FaultInjector::enabled()) {
+      // Deterministic corruption of the assembled system (NaN/inf/indefinite
+      // diag/FP16-range blowup) so the solver's degradation ladder gets
+      // exercised; the site id keeps the two half-sweeps independent.
+      analysis::FaultInjector::instance().corrupt_system(
+          &ratings == &r_ ? 0u : 1u, u, ctx.a_scratch, ctx.b_scratch);
+    }
     // Traffic per rating: one θ row (FP32 even when staging rounds to FP16
     // in "shared memory" — the global read is full precision), the rating
     // value and its column index. Written: A_u plus the b_u vector.
@@ -137,7 +145,13 @@ void AlsEngine::update_rows(const CsrMatrix& ratings, const Matrix& fixed,
 
     const bool ok =
         ctx.solver.solve(ctx.a_scratch, ctx.b_scratch, solved.row(u));
-    CUMF_ENSURES(ok, "ALS system unsolvable despite ridge regularization");
+    if (!ok) {
+      // Even the exact fallback could not produce a finite solution (a
+      // corrupted or singular system — impossible for healthy data with
+      // λ > 0). Keep the previous factor: the solver restored the row and
+      // counted the failure, and training continues on the other rows.
+      continue;
+    }
     if (profiled) {
       const std::uint64_t t2 = prof::now_ns();
       prof::Tracer::instance().complete_span("solve", "als", t1, t2);
@@ -216,10 +230,29 @@ void AlsEngine::run_epoch() {
     phase_.solve += static_cast<double>(ctx.solve_ns) / 1e9;
   }
   ++epochs_;
+  if (epoch_hook_) {
+    epoch_hook_(epochs_);
+  }
+}
+
+void AlsEngine::restore(const Matrix& x, const Matrix& theta, int epochs_run,
+                        const SolveStats& stats) {
+  CUMF_EXPECTS(x.rows() == x_.rows() && x.cols() == x_.cols(),
+               "restore: user-factor shape mismatch");
+  CUMF_EXPECTS(theta.rows() == theta_.rows() && theta.cols() == theta_.cols(),
+               "restore: item-factor shape mismatch");
+  CUMF_EXPECTS(epochs_run >= 0, "restore: negative epoch counter");
+  x_ = x;
+  theta_ = theta;
+  epochs_ = epochs_run;
+  restored_stats_ = stats;
+  for (WorkerContext& ctx : workers_) {
+    ctx.solver.reset_stats();
+  }
 }
 
 SolveStats AlsEngine::solve_stats() const noexcept {
-  SolveStats total;
+  SolveStats total = restored_stats_;
   for (const WorkerContext& ctx : workers_) {
     total += ctx.solver.stats();
   }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "common/thread_pool.hpp"
@@ -61,6 +62,24 @@ class AlsEngine {
   /// Runs one full epoch (update-X then update-Θ).
   void run_epoch();
 
+  /// Per-epoch hook, invoked at the end of every run_epoch() with the new
+  /// epochs_run() value. This is the checkpoint attachment point: a hook
+  /// that snapshots user_factors()/item_factors()/solve_stats() at epoch k
+  /// captures exactly the state restore() needs to continue bit-identically
+  /// (see data/checkpoint.hpp and tests/test_robustness.cpp).
+  using EpochHook = std::function<void(int epoch)>;
+  void set_epoch_hook(EpochHook hook) { epoch_hook_ = std::move(hook); }
+
+  /// Resumes from checkpointed state: replaces both factor matrices and the
+  /// epoch counter, and seeds solve_stats() with the pre-crash cumulative
+  /// stats so telemetry deltas and final totals span the whole logical run.
+  /// The engine must have been constructed with the same ratings and
+  /// options as the run that produced the snapshot; epochs are
+  /// deterministic, so the continuation is bit-identical to never having
+  /// stopped. Throws CheckError on shape mismatch.
+  void restore(const Matrix& x, const Matrix& theta, int epochs_run,
+               const SolveStats& stats = SolveStats{});
+
   int epochs_run() const noexcept { return epochs_; }
   std::size_t f() const noexcept { return options_.f; }
   const AlsOptions& options() const noexcept { return options_; }
@@ -71,8 +90,12 @@ class AlsEngine {
   const CsrMatrix& ratings_by_row() const noexcept { return r_; }
   const CsrMatrix& ratings_by_col() const noexcept { return rt_; }
 
-  /// Solver behaviour accumulated since construction across all workers
-  /// (CG iteration counts feed the cost model; failures stay 0 for λ > 0).
+  /// Solver behaviour accumulated since construction (plus any restore()d
+  /// baseline) across all workers. CG iteration counts feed the cost model;
+  /// failures and the fallback counters stay 0 for λ > 0 on healthy data —
+  /// they move only when the approximate path degrades (FP16 overflow, CG
+  /// breakdown) or a system is unsolvable even exactly, in which case the
+  /// affected row keeps its previous factor instead of poisoning the model.
   SolveStats solve_stats() const noexcept;
 
   /// Operations actually performed per epoch (measured, not analytic).
@@ -129,6 +152,8 @@ class AlsEngine {
   OpCounts herm_ops_;
   OpCounts solve_ops_;
   PhaseSeconds phase_;
+  EpochHook epoch_hook_;
+  SolveStats restored_stats_;  ///< baseline from restore(), added on read
 };
 
 /// Largest tile size ≤ `requested` that divides f (so any f works with the

@@ -94,7 +94,9 @@ void ImplicitAlsEngine::update_side(const CsrMatrix& interactions,
     }
 
     const bool ok = solver_.solve(a_scratch_, b_scratch_, solved.row(u));
-    CUMF_ENSURES(ok, "implicit ALS system unsolvable despite ridge");
+    if (!ok) {
+      continue;  // unsolvable even exactly: keep the previous factor
+    }
   }
 }
 

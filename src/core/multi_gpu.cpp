@@ -62,7 +62,9 @@ void MultiGpuAls::update_side(const CsrMatrix& ratings, const Matrix& fixed,
       get_hermitian_row(ratings, fixed, u, options_.lambda,
                         options_.hermitian, ws_, a_scratch_, b_scratch_);
       const bool ok = solver_.solve(a_scratch_, b_scratch_, solved.row(u));
-      CUMF_ENSURES(ok, "ALS system unsolvable despite ridge");
+      if (!ok) {
+        continue;  // unsolvable even exactly: keep the previous factor
+      }
     }
   }
 }

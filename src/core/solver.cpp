@@ -1,6 +1,7 @@
 #include "core/solver.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 #include "half/half_simd.hpp"
@@ -25,25 +26,113 @@ const char* to_string(SolverKind kind) {
   return "unknown";
 }
 
+namespace {
+
+bool all_finite(std::span<const real_t> v) noexcept {
+  for (const real_t e : v) {
+    if (!std::isfinite(e)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 SystemSolver::SystemSolver(std::size_t f, const SolverOptions& options)
     : f_(f), options_(options) {
   CUMF_EXPECTS(f_ > 0, "latent dimension must be positive");
   CUMF_EXPECTS(options_.cg_fs > 0, "CG needs at least one iteration");
-  switch (options_.kind) {
-    case SolverKind::LuFp32:
-      scratch_fp32_.resize(f_ * f_);
-      pivots_.resize(f_);
-      break;
-    case SolverKind::CholeskyFp32:
-      scratch_fp32_.resize(f_ * f_);
-      break;
-    case SolverKind::CgFp32:
-    case SolverKind::PcgFp32:
-      break;  // cg_solve/pcg_solve read A in place
-    case SolverKind::CgFp16:
-      scratch_fp16_.resize(f_ * f_);
-      break;
+  // Every kind carries the exact-LU scratch: for the approximate kinds it
+  // is the breakdown fallback path, not just the primary solver.
+  scratch_fp32_.resize(f_ * f_);
+  pivots_.resize(f_);
+  backup_.resize(f_);
+  if (options_.kind == SolverKind::CgFp16) {
+    scratch_fp16_.resize(f_ * f_);
   }
+}
+
+bool SystemSolver::solve_exact(std::span<const real_t> a,
+                               std::span<const real_t> b, std::span<real_t> x,
+                               bool via_cholesky) {
+  std::copy(a.begin(), a.end(), scratch_fp32_.begin());
+  bool ok;
+  if (via_cholesky) {
+    ok = cholesky_factor(f_, scratch_fp32_);
+    if (ok) {
+      cholesky_solve(f_, scratch_fp32_, b, x);
+    }
+  } else {
+    ok = lu_factor(f_, scratch_fp32_, pivots_);
+    if (ok) {
+      lu_solve(f_, scratch_fp32_, pivots_, b, x);
+    }
+  }
+  // A factorization can "succeed" on a corrupted or nearly singular system
+  // and still emit inf/NaN; a non-finite factor must never escape.
+  if (ok && !all_finite(x)) {
+    ok = false;
+  }
+  if (!ok) {
+    std::copy(backup_.begin(), backup_.end(), x.begin());
+    ++stats_.failures;
+  }
+  return ok;
+}
+
+template <typename T>
+bool SystemSolver::solve_cg(std::span<const T> a,
+                            std::span<const real_t> a_exact,
+                            std::span<const real_t> b, std::span<real_t> x,
+                            bool preconditioned) {
+  CgResult result;
+  bool usable = true;
+  if (preconditioned) {
+    // Jacobi needs a strictly positive finite diagonal; pcg_solve treats a
+    // violation as a precondition error, so screen it here and degrade.
+    for (std::size_t i = 0; i < f_ && usable; ++i) {
+      const float d = load_as_float(a[i * f_ + i]);
+      usable = std::isfinite(d) && d > 0.0f;
+    }
+    if (usable) {
+      result = pcg_solve<T>(f_, a, b, x, options_.cg_fs, options_.cg_eps,
+                            options_.path);
+    }
+  } else {
+    result = cg_solve<T>(f_, a, b, x, options_.cg_fs, options_.cg_eps,
+                         options_.path);
+  }
+  if (usable && !result.breakdown && all_finite(x)) {
+    stats_.record_cg(result.iterations);
+    return true;
+  }
+  // Degradation: the truncated-CG iterate is not trustworthy. Restore the
+  // warm start and solve the same system with the exact LU path (LU handles
+  // the indefinite matrices that break CG; a non-finite system fails there
+  // too and is reported as a failure).
+  ++stats_.cg_fallbacks;
+  std::copy(backup_.begin(), backup_.end(), x.begin());
+  return solve_exact(a_exact, b, x, /*via_cholesky=*/false);
+}
+
+bool SystemSolver::fp16_pack_ok(std::span<const real_t> a) const noexcept {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // half max is 65504: a heavy row's hermitian diagonal (which grows with
+    // nnz_u) can exceed it even though the FP32 value is fine.
+    if (scratch_fp16_[i].is_inf() && std::isfinite(a[i])) {
+      return false;
+    }
+  }
+  for (std::size_t d = 0; d < f_; ++d) {
+    const std::size_t i = d * f_ + d;
+    // A diagonal flushed to zero (|a| < 2^-25) silently destroys the ridge
+    // that keeps A SPD.
+    if (a[i] != 0.0f && static_cast<float>(scratch_fp16_[i]) == 0.0f) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool SystemSolver::solve(std::span<const real_t> a,
@@ -51,49 +140,32 @@ bool SystemSolver::solve(std::span<const real_t> a,
   CUMF_EXPECTS(a.size() == f_ * f_, "A must be f*f");
   CUMF_EXPECTS(b.size() == f_ && x.size() == f_, "vector size mismatch");
   ++stats_.systems;
+  std::copy(x.begin(), x.end(), backup_.begin());
 
   switch (options_.kind) {
-    case SolverKind::LuFp32: {
-      std::copy(a.begin(), a.end(), scratch_fp32_.begin());
-      if (!lu_factor(f_, scratch_fp32_, pivots_)) {
-        ++stats_.failures;
-        return false;
-      }
-      lu_solve(f_, scratch_fp32_, pivots_, b, x);
-      return true;
-    }
-    case SolverKind::CholeskyFp32: {
-      std::copy(a.begin(), a.end(), scratch_fp32_.begin());
-      if (!cholesky_factor(f_, scratch_fp32_)) {
-        ++stats_.failures;
-        return false;
-      }
-      cholesky_solve(f_, scratch_fp32_, b, x);
-      return true;
-    }
-    case SolverKind::CgFp32: {
-      const CgResult r = cg_solve<float>(f_, a, b, x, options_.cg_fs,
-                                         options_.cg_eps, options_.path);
-      stats_.record_cg(r.iterations);
-      return true;
-    }
-    case SolverKind::PcgFp32: {
-      const CgResult r = pcg_solve<float>(f_, a, b, x, options_.cg_fs,
-                                          options_.cg_eps, options_.path);
-      stats_.record_cg(r.iterations);
-      return true;
-    }
+    case SolverKind::LuFp32:
+      return solve_exact(a, b, x, /*via_cholesky=*/false);
+    case SolverKind::CholeskyFp32:
+      return solve_exact(a, b, x, /*via_cholesky=*/true);
+    case SolverKind::CgFp32:
+      return solve_cg<float>(a, a, b, x, /*preconditioned=*/false);
+    case SolverKind::PcgFp32:
+      return solve_cg<float>(a, a, b, x, /*preconditioned=*/true);
     case SolverKind::CgFp16: {
       // Store A in half precision — the read side of every CG matvec then
       // moves half the bytes (Solution 4). b and x stay FP32.
       float_to_half_n(a.data(), scratch_fp16_.data(), a.size(),
                       options_.path);
       stats_.fp16_converted += a.size();
-      const CgResult r =
-          cg_solve<half>(f_, std::span<const half>(scratch_fp16_), b, x,
-                         options_.cg_fs, options_.cg_eps, options_.path);
-      stats_.record_cg(r.iterations);
-      return true;
+      if (!fp16_pack_ok(a)) {
+        // Overflow/underflow in the pack: retry this system with A kept in
+        // FP32 (the paper's Solution 3 path) rather than solving a wrong
+        // system fast.
+        ++stats_.fp16_fallbacks;
+        return solve_cg<float>(a, a, b, x, /*preconditioned=*/false);
+      }
+      return solve_cg<half>(std::span<const half>(scratch_fp16_), a, b, x,
+                            /*preconditioned=*/false);
     }
   }
   CUMF_ENSURES(false, "unreachable solver kind");

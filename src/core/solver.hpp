@@ -51,6 +51,14 @@ struct SolveStats {
   /// A-matrix elements converted to FP16 (CG-FP16 staging volume; ×2 for
   /// bytes). Feeds the telemetry stream's pack-volume counter.
   std::uint64_t fp16_converted = 0;
+  /// Graceful-degradation events. `cg_fallbacks`: CG broke down (non-finite
+  /// residual or pᵀAp ≤ ε) and the system was rerouted to the exact LU
+  /// path. `fp16_fallbacks`: the FP16 pack of A overflowed to inf (or
+  /// flushed a diagonal to zero) and the system was retried with A in FP32.
+  /// Both stay 0 on healthy SPD systems; the telemetry stream surfaces them
+  /// per epoch so a degrading run is visible before it diverges.
+  std::uint64_t cg_fallbacks = 0;
+  std::uint64_t fp16_fallbacks = 0;
   std::array<std::uint64_t, kCgHistMax + 1> cg_hist{};
 
   void record_cg(std::uint32_t iterations) noexcept {
@@ -63,6 +71,8 @@ struct SolveStats {
     cg_iterations += o.cg_iterations;
     failures += o.failures;
     fp16_converted += o.fp16_converted;
+    cg_fallbacks += o.cg_fallbacks;
+    fp16_fallbacks += o.fp16_fallbacks;
     for (std::size_t i = 0; i < cg_hist.size(); ++i) {
       cg_hist[i] += o.cg_hist[i];
     }
@@ -76,6 +86,8 @@ struct SolveStats {
     newer.cg_iterations -= older.cg_iterations;
     newer.failures -= older.failures;
     newer.fp16_converted -= older.fp16_converted;
+    newer.cg_fallbacks -= older.cg_fallbacks;
+    newer.fp16_fallbacks -= older.fp16_fallbacks;
     for (std::size_t i = 0; i < newer.cg_hist.size(); ++i) {
       newer.cg_hist[i] -= older.cg_hist[i];
     }
@@ -89,9 +101,15 @@ class SystemSolver {
   explicit SystemSolver(std::size_t f, const SolverOptions& options);
 
   /// Solves A x = b. `x` carries the warm start for CG (previous epoch's
-  /// factor) and receives the solution. Returns false (and leaves `x`
-  /// untouched) when the system cannot be solved (exact solvers only;
-  /// CG always produces its best iterate).
+  /// factor) and receives the solution.
+  ///
+  /// Degradation ladder for the approximate kinds: an FP16 pack that
+  /// overflows retries the system with A in FP32, and a CG breakdown
+  /// (non-finite residual, pᵀAp ≤ ε) reroutes to the exact LU path — each
+  /// counted in stats(). Returns false (and restores `x` to its entry
+  /// value) only when even the exact path cannot produce a finite solution
+  /// (singular or non-finite system); such systems count as failures and
+  /// callers keep the previous factor.
   [[nodiscard]] bool solve(std::span<const real_t> a,
                            std::span<const real_t> b, std::span<real_t> x);
 
@@ -101,12 +119,29 @@ class SystemSolver {
   std::size_t f() const noexcept { return f_; }
 
  private:
+  /// Exact solve used both as a primary kind and as the CG fallback.
+  /// Assumes backup_ holds the entry value of x; restores it on failure.
+  bool solve_exact(std::span<const real_t> a, std::span<const real_t> b,
+                   std::span<real_t> x, bool via_cholesky);
+
+  /// CG/PCG on storage type T with breakdown → exact-LU degradation.
+  /// `a_exact` is the FP32 view of the same system for the fallback.
+  template <typename T>
+  bool solve_cg(std::span<const T> a, std::span<const real_t> a_exact,
+                std::span<const real_t> b, std::span<real_t> x,
+                bool preconditioned);
+
+  /// True when every FP16-packed element faithfully represents its FP32
+  /// source (no finite→inf overflow, no nonzero diagonal flushed to zero).
+  bool fp16_pack_ok(std::span<const real_t> a) const noexcept;
+
   std::size_t f_;
   SolverOptions options_;
   SolveStats stats_;
   std::vector<real_t> scratch_fp32_;
   std::vector<half> scratch_fp16_;
   std::vector<index_t> pivots_;
+  std::vector<real_t> backup_;  ///< x on entry, for failure restoration
 };
 
 }  // namespace cumf

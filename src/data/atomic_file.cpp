@@ -1,0 +1,52 @@
+#include "data/atomic_file.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "analysis/faultinject.hpp"
+#include "common/check.hpp"
+
+namespace cumf {
+
+std::string atomic_temp_path(const std::string& path) {
+  // Pid-qualified so two processes checkpointing into the same directory
+  // never scribble on each other's temp file.
+  return path + ".tmp." + std::to_string(static_cast<long>(getpid()));
+}
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  CUMF_EXPECTS(!path.empty(), "atomic_write_file: empty path");
+  const std::string tmp = atomic_temp_path(path);
+
+  std::size_t limit = contents.size();
+  if (analysis::FaultInjector::enabled()) {
+    limit = std::min(
+        limit, analysis::FaultInjector::instance().short_write_limit());
+  }
+
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  CUMF_EXPECTS(file != nullptr, "cannot create temp file for writing: " +
+                                    tmp + " (" + std::strerror(errno) + ")");
+  const std::size_t written =
+      limit == 0 ? 0 : std::fwrite(contents.data(), 1, limit, file);
+  // fflush pushes the bytes to the kernel before rename makes them visible;
+  // a short fwrite/ENOSPC must abandon the temp, not replace the good file.
+  const bool ok = written == limit && std::fflush(file) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (!ok || !closed) {
+    std::remove(tmp.c_str());
+    CUMF_ENSURES(false, "write failed for temp file: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string reason = std::strerror(errno);
+    std::remove(tmp.c_str());
+    CUMF_ENSURES(false,
+                 "cannot rename " + tmp + " -> " + path + " (" + reason + ")");
+  }
+}
+
+}  // namespace cumf

@@ -1,0 +1,30 @@
+// Crash-safe file replacement: temp file + atomic rename.
+//
+// Every persistent artifact the trainer produces (model files, ratings
+// dumps, checkpoints) goes through here: the payload is written to a
+// sibling temp file, flushed, and rename()d over the destination. POSIX
+// rename is atomic within a filesystem, so a reader — or a restarted
+// trainer — observes either the complete old file or the complete new one,
+// never a prefix. A crash mid-write leaves only a stray "<path>.tmp.<pid>"
+// that the next successful write of the same path cleans up.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cumf {
+
+/// Atomically replaces `path` with `contents`. Throws CheckError if the
+/// temp file cannot be created, written, flushed, or renamed; on failure
+/// any existing file at `path` is left untouched and the temp is removed.
+///
+/// Honors the fault injector's short-write plan (analysis/faultinject.hpp):
+/// when armed, only the first `short_write_bytes` bytes are written — the
+/// torn-file case checkpoint readers must detect.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+/// The temp name used by atomic_write_file (exposed for tests asserting no
+/// temp file survives a successful write).
+std::string atomic_temp_path(const std::string& path);
+
+}  // namespace cumf

@@ -1,0 +1,111 @@
+// Crash-safe training checkpoints: versioned binary snapshots with CRC.
+//
+// A checkpoint captures everything a killed training run needs to continue
+// bit-identically: both factor matrices, the epoch counter, the holdout-
+// split RNG state, the cumulative SolveStats, and the ConvergenceTracker
+// curve, plus a run fingerprint (f, solver, fs, λ, seed, dataset shape)
+// that resume validates so a checkpoint is never applied to the wrong run.
+//
+// Layout (fixed-width little-endian, the only layout this codebase targets):
+//
+//   [0..8)   magic "CUMFCKPT"
+//   [8..12)  u32 format version (kCheckpointVersion)
+//   [12..20) u64 payload length
+//   [20..20+len) payload (see serialize_checkpoint)
+//   [..+4)   u32 CRC-32 of the payload
+//
+// The reader trusts nothing before it is checked: wrong magic, version
+// skew, a short file, and a CRC mismatch each raise CheckpointError with a
+// distinct CkptReject reason that the CLI turns into a nonzero-exit
+// diagnostic. Files are written through atomic_write_file, so a crash
+// mid-checkpoint can never damage the previous good checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/solver.hpp"
+#include "linalg/dense.hpp"
+#include "metrics/convergence.hpp"
+
+namespace cumf {
+
+inline constexpr std::string_view kCheckpointMagic = "CUMFCKPT";
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Why a checkpoint file was rejected.
+enum class CkptReject {
+  io,            ///< cannot open/read the file at all
+  bad_magic,     ///< not a cumf checkpoint
+  version_skew,  ///< written by an incompatible format version
+  truncated,     ///< shorter than its header promises (torn write)
+  bad_crc,       ///< payload checksum mismatch (corruption)
+  malformed,     ///< CRC passed but the payload doesn't parse (logic bug)
+  mismatch,      ///< valid checkpoint, but for a different run configuration
+};
+
+const char* to_string(CkptReject reason);
+
+/// Thrown on any rejected checkpoint; carries the machine-readable reason
+/// so callers can distinguish "retry another file" from "wrong run".
+class CheckpointError : public CheckError {
+ public:
+  CheckpointError(CkptReject reason, const std::string& what)
+      : CheckError(what), reason_(reason) {}
+  CkptReject reason() const noexcept { return reason_; }
+
+ private:
+  CkptReject reason_;
+};
+
+/// Full resumable training state plus the run fingerprint.
+struct TrainCheckpoint {
+  // --- resumable state ---
+  std::uint32_t epoch = 0;      ///< epochs completed when snapshotted
+  Rng::State rng;               ///< holdout-split RNG after the split
+  double train_seconds = 0.0;   ///< cumulative wall seconds before resume
+  SolveStats solve_stats;       ///< cumulative since the logical run began
+  std::vector<ConvergenceTracker::Point> curve;  ///< per-epoch RMSE history
+  Matrix x;                     ///< m×f user factors
+  Matrix theta;                 ///< n×f item factors
+
+  // --- run fingerprint (validated by resume) ---
+  std::uint64_t seed = 0;
+  std::uint64_t f = 0;
+  std::uint32_t solver_kind = 0;  ///< static_cast<uint32_t>(SolverKind)
+  std::uint32_t cg_fs = 0;
+  float lambda = 0.0f;
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::uint64_t train_nnz = 0;
+};
+
+/// Renders the framed byte stream (magic, version, length, payload, CRC).
+std::string serialize_checkpoint(const TrainCheckpoint& ckpt);
+
+/// Parses and validates a byte stream; throws CheckpointError.
+TrainCheckpoint parse_checkpoint(std::string_view bytes);
+
+/// Atomic write via temp-file + rename (see data/atomic_file.hpp).
+void write_checkpoint_file(const std::string& path,
+                           const TrainCheckpoint& ckpt);
+
+/// Reads and validates; throws CheckpointError (reason io if unreadable).
+TrainCheckpoint read_checkpoint_file(const std::string& path);
+
+/// "DIR/ckpt-<epoch, zero-padded>.bin" — sortable lexicographically.
+std::string checkpoint_path(const std::string& dir, int epoch);
+
+/// Highest-epoch "ckpt-*.bin" in `dir`; nullopt when none (or no dir).
+std::optional<std::string> latest_checkpoint(const std::string& dir);
+
+/// Deletes all but the `keep` highest-epoch checkpoints in `dir`, bounding
+/// disk use for long runs. keep >= 1.
+void prune_checkpoints(const std::string& dir, int keep);
+
+}  // namespace cumf

@@ -2,8 +2,10 @@
 
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "common/check.hpp"
+#include "data/atomic_file.hpp"
 
 namespace cumf {
 
@@ -16,19 +18,26 @@ void write_ratings(std::ostream& os, const RatingsCoo& ratings) {
 }
 
 void write_ratings_file(const std::string& path, const RatingsCoo& ratings) {
-  std::ofstream os(path);
-  CUMF_EXPECTS(os.good(), "cannot open file for writing: " + path);
+  std::ostringstream os;
   write_ratings(os, ratings);
-  CUMF_ENSURES(os.good(), "write failed: " + path);
+  CUMF_ENSURES(os.good(), "ratings serialization failed: " + path);
+  // Temp-file + rename: a crash mid-write can't leave a half-written file
+  // where a reader (or a resumed run) expects a complete dataset.
+  atomic_write_file(path, os.str());
 }
 
 RatingsCoo read_ratings(std::istream& is) {
   index_t m = 0;
   index_t n = 0;
-  nnz_t nnz = 0;
-  is >> m >> n >> nnz;
+  // nnz_t is unsigned: a negative count in the header would wrap to a huge
+  // positive value and read as "truncated" gibberish. Parse signed and
+  // reject the sign explicitly so the diagnostic names the real problem.
+  long long nnz_signed = 0;
+  is >> m >> n >> nnz_signed;
   CUMF_EXPECTS(is.good() || is.eof(), "malformed header");
   CUMF_EXPECTS(m > 0 && n > 0, "matrix dimensions must be positive");
+  CUMF_EXPECTS(nnz_signed >= 0, "header nnz must be non-negative");
+  const auto nnz = static_cast<nnz_t>(nnz_signed);
 
   RatingsCoo out(m, n);
   for (nnz_t i = 0; i < nnz; ++i) {
@@ -36,7 +45,9 @@ RatingsCoo read_ratings(std::istream& is) {
     index_t v = 0;
     real_t r = 0;
     is >> u >> v >> r;
-    CUMF_EXPECTS(!is.fail(), "truncated or malformed entry");
+    CUMF_EXPECTS(!is.fail(),
+                 "ratings truncated: header promises " + std::to_string(nnz) +
+                     " entries, stream ended after " + std::to_string(i));
     out.add(u, v, r);  // add() validates the index range
   }
   return out;

@@ -2,18 +2,43 @@
 
 #include <fstream>
 #include <limits>
+#include <sstream>
 #include <string>
 
 #include "common/check.hpp"
+#include "data/atomic_file.hpp"
 
 namespace cumf {
 
 namespace {
 constexpr const char* kMagic = "cumf-model";
 constexpr int kVersion = 1;
+
+/// Restores a stream's formatting state on scope exit. write_matrix needs
+/// max_digits10 for lossless round-trips, but the caller's stream must not
+/// come back with its precision silently changed (it used to: any `os`
+/// passed in was left at max_digits10 for the rest of the program).
+class StreamStateGuard {
+ public:
+  explicit StreamStateGuard(std::ostream& os)
+      : os_(os), precision_(os.precision()), flags_(os.flags()) {}
+  ~StreamStateGuard() {
+    os_.precision(precision_);
+    os_.flags(flags_);
+  }
+  StreamStateGuard(const StreamStateGuard&) = delete;
+  StreamStateGuard& operator=(const StreamStateGuard&) = delete;
+
+ private:
+  std::ostream& os_;
+  std::streamsize precision_;
+  std::ios_base::fmtflags flags_;
+};
+
 }  // namespace
 
 void write_matrix(std::ostream& os, const Matrix& matrix) {
+  const StreamStateGuard guard(os);
   os << matrix.rows() << ' ' << matrix.cols() << '\n';
   os.precision(std::numeric_limits<real_t>::max_digits10);
   for (std::size_t r = 0; r < matrix.rows(); ++r) {
@@ -50,10 +75,11 @@ void write_model(std::ostream& os, const FactorModel& model) {
 }
 
 void write_model_file(const std::string& path, const FactorModel& model) {
-  std::ofstream os(path);
-  CUMF_EXPECTS(os.good(), "cannot open model file for writing: " + path);
+  std::ostringstream os;
   write_model(os, model);
-  CUMF_ENSURES(os.good(), "model write failed: " + path);
+  CUMF_ENSURES(os.good(), "model serialization failed: " + path);
+  // Atomic replace: an interrupted export never clobbers the previous model.
+  atomic_write_file(path, os.str());
 }
 
 FactorModel read_model(std::istream& is) {

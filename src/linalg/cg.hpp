@@ -32,11 +32,22 @@
 
 namespace cumf {
 
+/// Curvature threshold below which a CG step is declared broken down: a
+/// pᵀAp this small (or negative, or non-finite) makes α = rᵀr / pᵀAp
+/// meaningless, which happens only when A lost positive definiteness or the
+/// system contains non-finite values.
+inline constexpr double kCgBreakdownEps = 1e-30;
+
 /// Outcome of one cg_solve call; also feeds the roofline bookkeeping.
 struct CgResult {
   std::uint32_t iterations = 0;  ///< CG steps actually taken (≤ fs)
   double residual_norm = 0.0;    ///< ‖b − A·x‖ proxy: √(rᵀr) at exit
   bool converged = false;        ///< true if tolerance reached before fs
+  /// True when the solve terminated on a non-finite residual or on
+  /// pᵀAp ≤ kCgBreakdownEps (indefinite or corrupted system). The iterate
+  /// in `x` is not trustworthy; callers should fall back to an exact
+  /// factorization (SystemSolver reroutes to LU and counts the event).
+  bool breakdown = false;
 };
 
 /// Storage-precision conversion: float passes through, half widens.
@@ -173,6 +184,11 @@ CgResult cg_solve(std::size_t n, std::span<const T> a,
 
   CgResult result;
   result.residual_norm = std::sqrt(rsold);
+  if (!std::isfinite(rsold)) {
+    // NaN/inf in A, b, or the warm start: no iterate can be trusted.
+    result.breakdown = true;
+    return result;
+  }
   if (result.residual_norm < static_cast<double>(eps)) {
     result.converged = true;
     return result;
@@ -181,13 +197,19 @@ CgResult cg_solve(std::size_t n, std::span<const T> a,
   for (std::uint32_t j = 0; j < fs; ++j) {
     detail::gemv(n, a.data(), p.data(), ap.data(), path);  // ap = A·p (line 4)
     const double pap = dot_d(p, ap, path);
-    if (pap <= 0.0) {
-      break;  // loss of positive definiteness under rounding: stop early
+    if (!(pap > kCgBreakdownEps)) {
+      // Non-finite, negative (A not SPD), or vanishing curvature.
+      result.breakdown = true;
+      break;
     }
     const double alpha = rsold / pap;
     detail::cg_step_update(n, static_cast<real_t>(alpha), p.data(), ap.data(),
                            x.data(), r.data(), path);  // line 5
     const double rsnew = dot_d(r, r, path);            // line 6
+    if (!std::isfinite(rsnew)) {
+      result.breakdown = true;
+      break;
+    }
     ++result.iterations;
     result.residual_norm = std::sqrt(rsnew);
     if (result.residual_norm < static_cast<double>(eps)) {  // line 7
@@ -236,7 +258,12 @@ CgResult pcg_solve(std::size_t n, std::span<const T> a,
   double rz_old = dot_d(r, z, path);
 
   CgResult result;
-  result.residual_norm = std::sqrt(dot_d(r, r, path));
+  const double rs0 = dot_d(r, r, path);
+  result.residual_norm = std::sqrt(rs0);
+  if (!std::isfinite(rs0)) {
+    result.breakdown = true;
+    return result;
+  }
   if (result.residual_norm < static_cast<double>(eps)) {
     result.converged = true;
     return result;
@@ -245,14 +272,20 @@ CgResult pcg_solve(std::size_t n, std::span<const T> a,
   for (std::uint32_t j = 0; j < fs; ++j) {
     detail::gemv(n, a.data(), p.data(), ap.data(), path);
     const double pap = dot_d(p, ap, path);
-    if (pap <= 0.0) {
+    if (!(pap > kCgBreakdownEps)) {
+      result.breakdown = true;
       break;
     }
     const double alpha = rz_old / pap;
     detail::cg_step_update(n, static_cast<real_t>(alpha), p.data(), ap.data(),
                            x.data(), r.data(), path);
+    const double rsnew = dot_d(r, r, path);
+    if (!std::isfinite(rsnew)) {
+      result.breakdown = true;
+      break;
+    }
     ++result.iterations;
-    result.residual_norm = std::sqrt(dot_d(r, r, path));
+    result.residual_norm = std::sqrt(rsnew);
     if (result.residual_norm < static_cast<double>(eps)) {
       result.converged = true;
       return result;

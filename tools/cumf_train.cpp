@@ -26,22 +26,44 @@
 //                  summarizes and validates it
 //   --prof-summary print a per-span timing table (count/mean/p50/p95) after
 //                  training
+//   --checkpoint DIR       write a crash-safe checkpoint (CRC-framed binary,
+//                          atomic rename) into DIR during training
+//   --checkpoint-every N   checkpoint every N epochs (default 1)
+//   --resume               continue from the newest valid checkpoint in the
+//                          --checkpoint directory; a rejected checkpoint
+//                          (bad magic/CRC/version, wrong run) is a hard
+//                          error naming the file and the reason
+//
+// Fault-injection hooks (deterministic, for robustness testing — see
+// docs/robustness.md):
+//   --inject-seed N            seed for the per-row fault decisions
+//   --inject-nan-a P           P(NaN into a system's A) per row update
+//   --inject-inf-b P           P(+inf into a system's b)
+//   --inject-indefinite-a P    P(flip an A diagonal negative; CG breaks
+//                              down, exact LU still solves it)
+//   --inject-fp16-overflow P   P(inflate an A diagonal past FP16 range;
+//                              the cg16 solver must retry in FP32)
+//   --crash-after-epoch N      _Exit(42) right after epoch N's checkpoint
+//                              is durable (simulated crash for resume tests)
 //
 // Input files: triplet "u v r" lines by default (LIBMF/NOMAD format).
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <limits>
 #include <optional>
 #include <string>
 
+#include "analysis/faultinject.hpp"
 #include "analysis/precheck.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "core/als.hpp"
 #include "core/kernel_stats.hpp"
+#include "data/checkpoint.hpp"
 #include "data/loaders.hpp"
 #include "data/model_io.hpp"
 #include "gpusim/device.hpp"
@@ -67,6 +89,13 @@ namespace {
                "             [--test FRAC] [--seed N] [--cucheck]\n"
                "             [--trace FILE] [--metrics FILE] "
                "[--prof-summary]\n"
+               "             [--checkpoint DIR] [--checkpoint-every N] "
+               "[--resume]\n"
+               "             [--inject-seed N] [--inject-nan-a P] "
+               "[--inject-inf-b P]\n"
+               "             [--inject-indefinite-a P] "
+               "[--inject-fp16-overflow P]\n"
+               "             [--crash-after-epoch N]\n"
                "  cumf_train predict <model> <pairs> \n"
                "  cumf_train recommend <model> <ratings> <user> [-k N]\n");
   std::exit(2);
@@ -103,6 +132,11 @@ int cmd_train(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   bool prof_summary = false;
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  bool resume = false;
+  analysis::FaultPlan fault_plan;
+  bool inject = false;
 
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -142,10 +176,52 @@ int cmd_train(int argc, char** argv) {
       metrics_path = next();
     } else if (arg == "--prof-summary") {
       prof_summary = true;
+    } else if (arg == "--checkpoint") {
+      checkpoint_dir = next();
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = std::atoi(next());
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--inject-seed") {
+      fault_plan.seed = std::strtoull(next(), nullptr, 10);
+      inject = true;
+    } else if (arg == "--inject-nan-a") {
+      fault_plan.nan_a_prob = std::atof(next());
+      inject = true;
+    } else if (arg == "--inject-inf-b") {
+      fault_plan.inf_b_prob = std::atof(next());
+      inject = true;
+    } else if (arg == "--inject-indefinite-a") {
+      fault_plan.indefinite_a_prob = std::atof(next());
+      inject = true;
+    } else if (arg == "--inject-fp16-overflow") {
+      fault_plan.fp16_overflow_prob = std::atof(next());
+      inject = true;
+    } else if (arg == "--crash-after-epoch") {
+      fault_plan.crash_at_epoch = std::atoi(next());
+      inject = true;
     } else {
       std::fprintf(stderr, "cumf_train: unknown option '%s'\n", arg.c_str());
       usage();
     }
+  }
+
+  if (resume && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "cumf_train: --resume requires --checkpoint DIR\n");
+    return 2;
+  }
+  if (!checkpoint_dir.empty() && implicit_alpha) {
+    std::fprintf(stderr,
+                 "cumf_train: checkpointing is only supported for the "
+                 "explicit ALS path\n");
+    return 2;
+  }
+  if (checkpoint_every < 1) {
+    std::fprintf(stderr, "cumf_train: --checkpoint-every must be >= 1\n");
+    return 2;
+  }
+  if (inject) {
+    analysis::FaultInjector::instance().arm(fault_plan);
   }
 
   // Profiling is runtime-gated: any telemetry flag turns the tracer on
@@ -196,6 +272,7 @@ int cmd_train(int argc, char** argv) {
   }
 
   FactorModel model;
+  SolveStats final_stats;  // explicit path only; drives --prof-summary
   Stopwatch sw;
   if (implicit_alpha) {
     // Implicit path: the mllib facade drives ImplicitAlsEngine; per-epoch
@@ -225,6 +302,55 @@ int cmd_train(int argc, char** argv) {
     options.solver.cg_fs = fs;
     options.workers = workers;
     options.seed = seed;
+
+    // Resume: load and validate the newest checkpoint before training (and
+    // before the telemetry header, which records the resume point). A file
+    // that fails any structural check — magic, version, length, CRC — or
+    // that belongs to a different run configuration is a hard error naming
+    // the file and the reason; silently starting over would mask corruption.
+    std::optional<TrainCheckpoint> resumed;
+    if (resume) {
+      const auto latest = latest_checkpoint(checkpoint_dir);
+      if (!latest) {
+        std::printf("resume: no checkpoint in %s, starting fresh\n",
+                    checkpoint_dir.c_str());
+      } else {
+        try {
+          TrainCheckpoint ckpt = read_checkpoint_file(*latest);
+          std::string why;
+          if (ckpt.f != static_cast<std::uint64_t>(f)) {
+            why = "latent dimension differs";
+          } else if (ckpt.solver_kind != static_cast<std::uint32_t>(solver)) {
+            why = "solver differs";
+          } else if (ckpt.cg_fs != fs) {
+            why = "CG truncation differs";
+          } else if (ckpt.lambda != static_cast<float>(lambda)) {
+            why = "lambda differs";
+          } else if (ckpt.seed != seed) {
+            why = "seed differs";
+          } else if (ckpt.rows != ratings.rows() ||
+                     ckpt.cols != ratings.cols() ||
+                     ckpt.train_nnz != split.train.nnz()) {
+            why = "dataset shape differs";
+          } else if (!(ckpt.rng == rng.state())) {
+            why = "holdout-split RNG state differs";
+          }
+          if (!why.empty()) {
+            throw CheckpointError(CkptReject::mismatch, why);
+          }
+          resumed = std::move(ckpt);
+        } catch (const CheckpointError& e) {
+          std::fprintf(stderr, "cumf_train: rejected checkpoint '%s': %s\n",
+                       latest->c_str(), e.what());
+          return 1;
+        }
+        std::printf("resumed from %s (after epoch %u, %.2f s trained)\n",
+                    latest->c_str(), resumed->epoch, resumed->train_seconds);
+      }
+    }
+    if (!checkpoint_dir.empty()) {
+      std::filesystem::create_directories(checkpoint_dir);
+    }
 
     prof::TelemetryWriter telemetry;
     gpusim::TraceStats cache_sim;
@@ -261,6 +387,10 @@ int cmd_train(int argc, char** argv) {
       header.set("workers", workers).set("epochs", epochs);
       header.set("seed", seed);
       header.set("sim_device", dev.name);
+      if (resumed) {
+        header.set("resumed_from_epoch",
+                   static_cast<std::uint64_t>(resumed->epoch));
+      }
       if (split.train.nnz() > 0) {
         cache_sim = hermitian_load_stats(dev, shape, kc,
                                          /*sample_rows=*/nullptr);
@@ -272,7 +402,23 @@ int cmd_train(int argc, char** argv) {
     ConvergenceTracker tracker;
     SolveStats prev_stats;
     double final_rmse = std::numeric_limits<double>::quiet_NaN();
-    for (int epoch = 1; epoch <= epochs; ++epoch) {
+    double time_offset = 0.0;
+    int start_epoch = 0;
+    if (resumed) {
+      engine.restore(resumed->x, resumed->theta,
+                     static_cast<int>(resumed->epoch), resumed->solve_stats);
+      for (const ConvergenceTracker::Point& p : resumed->curve) {
+        tracker.record(p.seconds, p.rmse, p.epoch);
+      }
+      if (!resumed->curve.empty()) {
+        final_rmse = resumed->curve.back().rmse;
+      }
+      prev_stats = resumed->solve_stats;
+      time_offset = resumed->train_seconds;
+      start_epoch = static_cast<int>(resumed->epoch);
+      sw.reset();  // the offset already covers pre-crash wall time
+    }
+    for (int epoch = start_epoch + 1; epoch <= epochs; ++epoch) {
       engine.run_epoch();
       const double epoch_s = sw.lap();
 
@@ -288,7 +434,7 @@ int cmd_train(int argc, char** argv) {
                                                  t1);
           CUMF_PROF_COUNTER("test_rmse", final_rmse);
         }
-        tracker.record(sw.seconds(), final_rmse, epoch);
+        tracker.record(time_offset + sw.seconds(), final_rmse, epoch);
       }
 
       if (telemetry.is_open()) {
@@ -301,7 +447,8 @@ int cmd_train(int argc, char** argv) {
 
         prof::JsonObject rec;
         rec.set("type", "epoch").set("epoch", epoch);
-        rec.set("seconds", sw.seconds()).set("epoch_s", epoch_s);
+        rec.set("seconds", time_offset + sw.seconds())
+            .set("epoch_s", epoch_s);
         if (have_test) {
           rec.set("rmse", final_rmse);
         } else {
@@ -317,6 +464,8 @@ int cmd_train(int argc, char** argv) {
         solver_obj.set("systems", delta.systems);
         solver_obj.set("cg_iterations", delta.cg_iterations);
         solver_obj.set("failures", delta.failures);
+        solver_obj.set("cg_fallbacks", delta.cg_fallbacks);
+        solver_obj.set("fp16_fallbacks", delta.fp16_fallbacks);
         solver_obj.set("fp16_pack_bytes", delta.fp16_converted * 2);
         std::string hist = "{";
         for (std::size_t i = 0; i < delta.cg_hist.size(); ++i) {
@@ -355,10 +504,45 @@ int cmd_train(int argc, char** argv) {
 
         telemetry.write(rec);
       }
+
+      if (!checkpoint_dir.empty() &&
+          (epoch % checkpoint_every == 0 || epoch == epochs)) {
+        TrainCheckpoint ckpt;
+        ckpt.epoch = static_cast<std::uint32_t>(epoch);
+        ckpt.rng = rng.state();
+        ckpt.train_seconds = time_offset + sw.seconds();
+        ckpt.solve_stats = engine.solve_stats();
+        ckpt.curve = tracker.curve();
+        ckpt.x = engine.user_factors();
+        ckpt.theta = engine.item_factors();
+        ckpt.seed = seed;
+        ckpt.f = static_cast<std::uint64_t>(f);
+        ckpt.solver_kind = static_cast<std::uint32_t>(solver);
+        ckpt.cg_fs = fs;
+        ckpt.lambda = static_cast<float>(lambda);
+        ckpt.rows = ratings.rows();
+        ckpt.cols = ratings.cols();
+        ckpt.train_nnz = static_cast<std::uint64_t>(split.train.nnz());
+        write_checkpoint_file(checkpoint_path(checkpoint_dir, epoch), ckpt);
+        prune_checkpoints(checkpoint_dir, 3);
+        if (analysis::FaultInjector::enabled() &&
+            analysis::FaultInjector::instance().should_crash_after_epoch(
+                epoch)) {
+          // Simulated crash: die without unwinding, exactly like a kill -9
+          // would. The checkpoint above is already durable (temp + rename),
+          // so a --resume run continues bit-identically from here.
+          std::fprintf(stderr,
+                       "fault injection: crashing after epoch %d "
+                       "(checkpoint is durable)\n",
+                       epoch);
+          std::fflush(nullptr);
+          std::_Exit(42);
+        }
+      }
     }
 
     std::printf("trained %d epochs (f=%d, %s) in %.2f s\n", epochs, f,
-                to_string(solver), sw.seconds());
+                to_string(solver), time_offset + sw.seconds());
     if (have_test) {
       std::printf("test RMSE: %.4f\n", final_rmse);
       std::printf("%s", tracker.to_csv().c_str());
@@ -367,7 +551,19 @@ int cmd_train(int argc, char** argv) {
       std::printf("telemetry written to %s (%zu records)\n",
                   metrics_path.c_str(), telemetry.lines_written());
     }
+    final_stats = engine.solve_stats();
     model = FactorModel{engine.user_factors(), engine.item_factors()};
+  }
+
+  if (inject) {
+    const analysis::FaultCounts& fc =
+        analysis::FaultInjector::instance().counts();
+    std::printf("faults injected: nan_a=%llu inf_b=%llu indefinite_a=%llu "
+                "fp16_overflow=%llu\n",
+                static_cast<unsigned long long>(fc.nan_a.load()),
+                static_cast<unsigned long long>(fc.inf_b.load()),
+                static_cast<unsigned long long>(fc.indefinite_a.load()),
+                static_cast<unsigned long long>(fc.fp16_overflow.load()));
   }
 
   write_model_file(model_path, model);
@@ -394,6 +590,12 @@ int cmd_train(int argc, char** argv) {
       std::printf("(%llu events dropped by ring wrap)\n",
                   static_cast<unsigned long long>(dropped));
     }
+    std::printf("solver fallbacks: cg->lu %llu, fp16->fp32 %llu, "
+                "unsolvable %llu (of %llu systems)\n",
+                static_cast<unsigned long long>(final_stats.cg_fallbacks),
+                static_cast<unsigned long long>(final_stats.fp16_fallbacks),
+                static_cast<unsigned long long>(final_stats.failures),
+                static_cast<unsigned long long>(final_stats.systems));
   }
   return 0;
 }
