@@ -98,10 +98,11 @@ AlsEngine::AlsEngine(const RatingsCoo& train, const AlsOptions& options)
   }
 }
 
-void AlsEngine::update_rows(const CsrMatrix& ratings, const Matrix& fixed,
-                            Matrix& solved, index_t begin, index_t end,
-                            WorkerContext& ctx) {
-  const std::size_t f = options_.f;
+void als_update_rows(const AlsOptions& options, const CsrMatrix& ratings,
+                     const Matrix& fixed, Matrix& solved, index_t begin,
+                     index_t end, std::uint32_t fault_site,
+                     AlsWorkerContext& ctx) {
+  const std::size_t f = options.f;
   // One flag check per chunk: when the cuprof tracer is off the loop runs
   // the plain hot path with no clock reads (and with CUMF_PROF=OFF this
   // whole branch folds to `false` at compile time anyway).
@@ -112,12 +113,12 @@ void AlsEngine::update_rows(const CsrMatrix& ratings, const Matrix& fixed,
       continue;  // unobserved row: keep the previous factor
     }
     const std::uint64_t t0 = profiled ? prof::now_ns() : 0;
-    if (options_.tiled_hermitian) {
-      get_hermitian_row(ratings, fixed, u, options_.lambda,
-                        options_.hermitian, ctx.ws, ctx.a_scratch,
-                        ctx.b_scratch, options_.solver.path);
+    if (options.tiled_hermitian) {
+      get_hermitian_row(ratings, fixed, u, options.lambda,
+                        options.hermitian, ctx.ws, ctx.a_scratch,
+                        ctx.b_scratch, options.solver.path);
     } else {
-      get_hermitian_row_reference(ratings, fixed, u, options_.lambda,
+      get_hermitian_row_reference(ratings, fixed, u, options.lambda,
                                   ctx.a_scratch, ctx.b_scratch);
     }
     std::uint64_t t1 = 0;
@@ -131,7 +132,7 @@ void AlsEngine::update_rows(const CsrMatrix& ratings, const Matrix& fixed,
       // diag/FP16-range blowup) so the solver's degradation ladder gets
       // exercised; the site id keeps the two half-sweeps independent.
       analysis::FaultInjector::instance().corrupt_system(
-          &ratings == &r_ ? 0u : 1u, u, ctx.a_scratch, ctx.b_scratch);
+          fault_site, u, ctx.a_scratch, ctx.b_scratch);
     }
     // Traffic per rating: one θ row (FP32 even when staging rounds to FP16
     // in "shared memory" — the global read is full precision), the rating
@@ -158,13 +159,13 @@ void AlsEngine::update_rows(const CsrMatrix& ratings, const Matrix& fixed,
       ctx.solve_ns += t2 - t1;
     }
     const double ff = static_cast<double>(f);
-    if (options_.solver.kind == SolverKind::CgFp32 ||
-        options_.solver.kind == SolverKind::PcgFp32 ||
-        options_.solver.kind == SolverKind::CgFp16) {
-      const double a_elem_bytes = options_.solver.kind == SolverKind::CgFp16
+    if (options.solver.kind == SolverKind::CgFp32 ||
+        options.solver.kind == SolverKind::PcgFp32 ||
+        options.solver.kind == SolverKind::CgFp16) {
+      const double a_elem_bytes = options.solver.kind == SolverKind::CgFp16
                                       ? sizeof(half)
                                       : sizeof(real_t);
-      const double fs = options_.solver.cg_fs;
+      const double fs = options.solver.cg_fs;
       ctx.solve_ops.flops += fs * (2.0 * ff * ff + 10.0 * ff);
       // fs sweeps over A (half-width for the FP16 solver) plus the CG
       // warm start reading the previous x_u once.
@@ -178,9 +179,10 @@ void AlsEngine::update_rows(const CsrMatrix& ratings, const Matrix& fixed,
 }
 
 void AlsEngine::update_side(const CsrMatrix& ratings, const Matrix& fixed,
-                            Matrix& solved) {
+                            Matrix& solved, std::uint32_t fault_site) {
   if (pool_ == nullptr) {
-    update_rows(ratings, fixed, solved, 0, ratings.rows(), workers_[0]);
+    als_update_rows(options_, ratings, fixed, solved, 0, ratings.rows(),
+                    fault_site, workers_[0]);
     return;
   }
   // Rows are independent and each worker index is held by exactly one task,
@@ -188,8 +190,9 @@ void AlsEngine::update_side(const CsrMatrix& ratings, const Matrix& fixed,
   // is touched by two workers, and `fixed` is read-only during the sweep.
   const auto body = [&](std::size_t begin, std::size_t end,
                         std::size_t worker) {
-    update_rows(ratings, fixed, solved, static_cast<index_t>(begin),
-                static_cast<index_t>(end), workers_[worker]);
+    als_update_rows(options_, ratings, fixed, solved,
+                    static_cast<index_t>(begin), static_cast<index_t>(end),
+                    fault_site, workers_[worker]);
   };
   if (options_.schedule == AlsSchedule::nnz_guided) {
     // ~8 chunks per worker of equal nnz: power-law degree skew costs at
@@ -214,11 +217,11 @@ void AlsEngine::run_epoch() {
   }
   {
     CUMF_PROF_SCOPE("update_X", "als");
-    update_side(r_, theta_, x_);
+    update_side(r_, theta_, x_, /*fault_site=*/0);
   }
   {
     CUMF_PROF_SCOPE("update_Theta", "als");
-    update_side(rt_, x_, theta_);
+    update_side(rt_, x_, theta_, /*fault_site=*/1);
   }
   herm_ops_ = OpCounts{};
   solve_ops_ = OpCounts{};

@@ -55,6 +55,47 @@ struct AlsOptions {
   std::uint64_t seed = 1;
 };
 
+/// Everything one worker (or one simulated device) needs to update a row
+/// without touching shared mutable state: the device analogue is a
+/// thread-block's scratch. Shared by AlsEngine (one per host worker) and
+/// MultiGpuAls (one per device), so both engines run the identical hot loop
+/// and their SolveStats/OpCounts accounting merges the same way.
+struct AlsWorkerContext {
+  AlsWorkerContext(std::size_t f, const SolverOptions& options,
+                   const HermitianParams& hermitian)
+      : solver(f, options), a_scratch(f * f), b_scratch(f) {
+    ws.prepare(f, hermitian);
+  }
+  SystemSolver solver;
+  HermitianWorkspace ws;
+  std::vector<real_t> a_scratch;
+  std::vector<real_t> b_scratch;
+  OpCounts herm_ops;
+  OpCounts solve_ops;
+  std::uint64_t herm_ns = 0;   ///< profiled time in get_hermitian_row
+  std::uint64_t solve_ns = 0;  ///< profiled time in the solve step
+};
+
+/// Measured host seconds per kernel phase, summed across workers/devices.
+/// Collected only while the cuprof tracer is enabled; zero otherwise.
+struct AlsPhaseSeconds {
+  double hermitian = 0.0;  ///< get_hermitian_row (load+compute+write)
+  double solve = 0.0;      ///< the batched solve step
+};
+
+/// The ALS row-update hot loop over [begin, end): get_hermitian (or the
+/// naive reference kernel), optional fault injection, then the configured
+/// solve, accumulating ops/spans/stats into `ctx`. `fault_site` tags the
+/// half-sweep (0 = update-X, 1 = update-Θ) so the deterministic fault
+/// injector corrupts the same systems under any engine, schedule, worker
+/// count, or device count. Rows never read other rows of `solved`, so any
+/// disjoint partition of calls is race-free and produces bit-identical
+/// factors.
+void als_update_rows(const AlsOptions& options, const CsrMatrix& ratings,
+                     const Matrix& fixed, Matrix& solved, index_t begin,
+                     index_t end, std::uint32_t fault_site,
+                     AlsWorkerContext& ctx);
+
 class AlsEngine {
  public:
   AlsEngine(const RatingsCoo& train, const AlsOptions& options);
@@ -104,42 +145,18 @@ class AlsEngine {
   }
   const OpCounts& solve_ops_per_epoch() const noexcept { return solve_ops_; }
 
-  /// Measured host seconds per kernel phase, summed across workers (so with
-  /// W busy workers an epoch's wall time is roughly total/W). Collected
-  /// only while the cuprof tracer is enabled; zero otherwise.
-  struct PhaseSeconds {
-    double hermitian = 0.0;  ///< get_hermitian_row (load+compute+write)
-    double solve = 0.0;      ///< the batched solve step
-  };
+  /// Per-phase host seconds summed across workers (so with W busy workers
+  /// an epoch's wall time is roughly total/W).
+  using PhaseSeconds = AlsPhaseSeconds;
   const PhaseSeconds& phase_seconds_last_epoch() const noexcept {
     return phase_;
   }
 
  private:
+  using WorkerContext = AlsWorkerContext;
+
   void update_side(const CsrMatrix& ratings, const Matrix& fixed,
-                   Matrix& solved);
-
-  /// Everything one worker needs to update a row without touching shared
-  /// mutable state: the device analogue is a thread-block's scratch.
-  struct WorkerContext {
-    WorkerContext(std::size_t f, const SolverOptions& options,
-                  const HermitianParams& hermitian)
-        : solver(f, options), a_scratch(f * f), b_scratch(f) {
-      ws.prepare(f, hermitian);
-    }
-    SystemSolver solver;
-    HermitianWorkspace ws;
-    std::vector<real_t> a_scratch;
-    std::vector<real_t> b_scratch;
-    OpCounts herm_ops;
-    OpCounts solve_ops;
-    std::uint64_t herm_ns = 0;   ///< profiled time in get_hermitian_row
-    std::uint64_t solve_ns = 0;  ///< profiled time in the solve step
-  };
-
-  void update_rows(const CsrMatrix& ratings, const Matrix& fixed,
-                   Matrix& solved, index_t begin, index_t end,
-                   WorkerContext& ctx);
+                   Matrix& solved, std::uint32_t fault_site);
 
   AlsOptions options_;
   CsrMatrix r_;   ///< train ratings, row-major (update-X view)

@@ -79,6 +79,10 @@ struct SolveStats {
     return *this;
   }
 
+  /// Field-wise equality: the multi-GPU bit-identity tests assert that
+  /// per-device stats merged in device order equal the single-engine run.
+  friend bool operator==(const SolveStats&, const SolveStats&) = default;
+
   /// Delta between two cumulative snapshots (per-epoch telemetry); all
   /// fields are monotone, so `newer - older` is well-defined.
   friend SolveStats operator-(SolveStats newer, const SolveStats& older) {

@@ -1,5 +1,7 @@
 #include "gpusim/interconnect.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace cumf::gpusim {
@@ -12,6 +14,14 @@ LinkSpec LinkSpec::nvlink() {
   // 40 GB/s per link, 4 links per GPU (paper §I); a ring all-gather uses
   // one link per neighbour, so the per-direction budget is one link.
   return LinkSpec{"NVLink", 40.0e9, 5e-6};
+}
+
+LinkSpec link_by_name(const std::string& name) {
+  if (name == "pcie3") {
+    return LinkSpec::pcie3();
+  }
+  CUMF_EXPECTS(name == "nvlink", "unknown link (expected pcie3 or nvlink)");
+  return LinkSpec::nvlink();
 }
 
 double transfer_seconds(const LinkSpec& link, double bytes) {
@@ -28,6 +38,22 @@ double allgather_seconds(const LinkSpec& link, int gpus,
   }
   // Ring: g−1 rounds; in each round every device forwards one partition.
   return (gpus - 1) * transfer_seconds(link, bytes_per_gpu);
+}
+
+double allgather_seconds_ragged(const LinkSpec& link,
+                                std::span<const double> bytes_per_device) {
+  if (bytes_per_device.size() <= 1) {
+    return 0.0;
+  }
+  double max_bytes = 0.0;
+  for (const double b : bytes_per_device) {
+    CUMF_EXPECTS(b >= 0, "cannot transfer negative bytes");
+    max_bytes = std::max(max_bytes, b);
+  }
+  // Every ring step runs all partitions concurrently, one per link; the
+  // step completes when the largest partition lands.
+  const auto steps = static_cast<double>(bytes_per_device.size() - 1);
+  return steps * transfer_seconds(link, max_bytes);
 }
 
 }  // namespace cumf::gpusim

@@ -6,6 +6,7 @@
 // models the all-gather of factor partitions across devices.
 #pragma once
 
+#include <span>
 #include <string>
 
 namespace cumf::gpusim {
@@ -21,6 +22,10 @@ struct LinkSpec {
   static LinkSpec nvlink();
 };
 
+/// CLI-facing lookup: "pcie3" → pcie3(), "nvlink" → nvlink(). Throws
+/// CheckError on any other name (`cumf_train --link` forwards here).
+LinkSpec link_by_name(const std::string& name);
+
 /// Time to move `bytes` point-to-point over one link.
 double transfer_seconds(const LinkSpec& link, double bytes);
 
@@ -28,5 +33,13 @@ double transfer_seconds(const LinkSpec& link, double bytes);
 /// (g−1) steps, each moving bytes_per_gpu per device concurrently.
 double allgather_seconds(const LinkSpec& link, int gpus,
                          double bytes_per_gpu);
+
+/// Ring all-gather with ragged partitions (nnz-balanced shards rarely hold
+/// equal row counts). In every one of the (g−1) steps each device forwards
+/// a different partition concurrently, so the step is paced by the largest
+/// partition in flight: (g−1) · transfer(max bytes). One entry per device;
+/// an empty or single-entry span costs nothing.
+double allgather_seconds_ragged(const LinkSpec& link,
+                                std::span<const double> bytes_per_device);
 
 }  // namespace cumf::gpusim

@@ -86,6 +86,26 @@ JsonObject& JsonObject::set_null(const std::string& k) {
   return *this;
 }
 
+JsonObject& JsonObject::set_array(const std::string& k,
+                                  std::span<const double> values) {
+  key(k);
+  body_ += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      body_ += ',';
+    }
+    if (std::isfinite(values[i])) {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.12g", values[i]);
+      body_ += buf;
+    } else {
+      body_ += "null";
+    }
+  }
+  body_ += ']';
+  return *this;
+}
+
 JsonObject& JsonObject::set_raw(const std::string& k,
                                 const std::string& json) {
   key(k);

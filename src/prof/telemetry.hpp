@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <span>
 #include <string>
 
 namespace cumf::prof {
@@ -32,6 +33,10 @@ class JsonObject {
   }
   JsonObject& set(const std::string& key, bool value);
   JsonObject& set_null(const std::string& key);
+  /// Numeric array (non-finite entries become null, like scalar set()).
+  /// The multi-GPU telemetry uses this for per-device compute seconds.
+  JsonObject& set_array(const std::string& key,
+                        std::span<const double> values);
   /// Inserts pre-rendered JSON (an object, array, or number) verbatim.
   JsonObject& set_raw(const std::string& key, const std::string& json);
 

@@ -3,9 +3,13 @@
 // kernel cost-model bridge.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
+#include <vector>
 
+#include "analysis/faultinject.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "core/als.hpp"
@@ -452,7 +456,70 @@ TEST(MultiGpu, PartitionCoversAllRows) {
     }
   }
   EXPECT_EQ(total, 103u);
-  EXPECT_THROW(partition_rows(2, 3), CheckError);
+  EXPECT_THROW(partition_rows(103, 0), CheckError);
+}
+
+TEST(MultiGpu, PartitionYieldsEmptyTailsWhenPartsExceedRows) {
+  // A 4-GPU run on a 2-row dataset idles the surplus devices instead of
+  // refusing to construct.
+  const auto parts = partition_rows(2, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0].size(), 1u);
+  EXPECT_EQ(parts[1].size(), 1u);
+  EXPECT_EQ(parts[2].size(), 0u);
+  EXPECT_EQ(parts[3].size(), 0u);
+  EXPECT_EQ(parts[3].end, 2u);
+
+  const auto empty = partition_rows(0, 3);
+  ASSERT_EQ(empty.size(), 3u);
+  for (const RowRange& r : empty) {
+    EXPECT_EQ(r.size(), 0u);
+  }
+}
+
+TEST(MultiGpu, NnzBalancedShardsCoverRowsAndBalanceWork) {
+  SyntheticConfig cfg;
+  cfg.m = 400;
+  cfg.n = 60;
+  cfg.nnz = 12000;
+  cfg.row_zipf = 1.1;  // heavy skew: the case row-count splits lose on
+  cfg.seed = 61;
+  const auto data = generate_synthetic(cfg);
+  const auto csr = CsrMatrix::from_coo(data.ratings);
+  const auto& ptr = csr.row_ptr();
+
+  const auto shards = nnz_balanced_shards(csr, 4);
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_EQ(shards.front().begin, 0u);
+  EXPECT_EQ(shards.back().end, csr.rows());
+  nnz_t heaviest_nnz = 0;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    if (s > 0) {
+      EXPECT_EQ(shards[s].begin, shards[s - 1].end);
+    }
+    heaviest_nnz = std::max(
+        heaviest_nnz, ptr[shards[s].end] - ptr[shards[s].begin]);
+  }
+  // The heaviest shard cannot exceed the perfect quarter by more than the
+  // heaviest single row (contiguous cuts cannot split a row).
+  nnz_t max_row = 0;
+  for (index_t u = 0; u < csr.rows(); ++u) {
+    max_row = std::max(max_row, ptr[u + 1] - ptr[u]);
+  }
+  EXPECT_LE(heaviest_nnz, csr.nnz() / 4 + max_row);
+
+  // More shards than rows: tails are empty, coverage still exact.
+  SyntheticConfig tiny;
+  tiny.m = 3;
+  tiny.n = 5;
+  tiny.nnz = 10;
+  tiny.seed = 3;
+  const auto small_csr =
+      CsrMatrix::from_coo(generate_synthetic(tiny).ratings);
+  const auto wide = nnz_balanced_shards(small_csr, 6);
+  ASSERT_EQ(wide.size(), 6u);
+  EXPECT_EQ(wide.front().begin, 0u);
+  EXPECT_EQ(wide.back().end, small_csr.rows());
 }
 
 TEST(MultiGpu, FourGpusMatchSingleGpuExactly) {
@@ -469,6 +536,121 @@ TEST(MultiGpu, FourGpusMatchSingleGpuExactly) {
   }
   EXPECT_EQ(single.user_factors(), quad.user_factors());
   EXPECT_EQ(single.item_factors(), quad.item_factors());
+  // Merged per-device SolveStats are integer sums, so they must match the
+  // single-device totals exactly, not approximately.
+  EXPECT_EQ(single.solve_stats(), quad.solve_stats());
+}
+
+TEST(MultiGpu, MatchesAlsEngineBitForBit) {
+  // The concurrent sharded engine and the reference AlsEngine share the
+  // als_update_rows hot loop; with identical seeds the factors and the
+  // solver accounting must agree to the last bit, CG-FP16 quirks included.
+  const auto data = small_dataset(5000, 59);
+  AlsOptions options;
+  options.f = 16;
+  options.solver.kind = SolverKind::CgFp16;
+  options.solver.cg_fs = 5;
+
+  AlsEngine reference(data.ratings, options);
+  MultiGpuAls quad(data.ratings, options, 4);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    reference.run_epoch();
+    quad.run_epoch();
+  }
+  EXPECT_EQ(reference.user_factors(), quad.user_factors());
+  EXPECT_EQ(reference.item_factors(), quad.item_factors());
+  EXPECT_EQ(reference.solve_stats(), quad.solve_stats());
+  EXPECT_GT(quad.solve_stats().systems, 0u);
+}
+
+TEST(MultiGpu, StaticRowScheduleIsAlsoBitIdentical) {
+  // AlsSchedule::static_rows swaps the nnz-balanced device shards for the
+  // row-count split (the ablation baseline); any disjoint partition must
+  // produce the same factors.
+  const auto data = small_dataset(4000, 67);
+  AlsOptions options;
+  options.f = 12;
+  options.schedule = AlsSchedule::static_rows;
+
+  MultiGpuAls single(data.ratings, options, 1);
+  MultiGpuAls quad(data.ratings, options, 4);
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    single.run_epoch();
+    quad.run_epoch();
+  }
+  EXPECT_EQ(single.user_factors(), quad.user_factors());
+  // The shards really are row-count cuts, not nnz cuts.
+  const auto& shards = quad.user_shards();
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_LE(shards[0].size() - shards[3].size(), 1u);
+}
+
+TEST(MultiGpu, FaultInjectionCountsMatchDeviceCounts) {
+  // Fault decisions are pure functions of (seed, site, row), so a plan
+  // must corrupt exactly the same systems — and trigger exactly the same
+  // degradations — on 1 device, on 4 devices, and in AlsEngine.
+  const auto data = small_dataset(4000, 71);
+  AlsOptions options;
+  options.f = 16;
+  options.solver.kind = SolverKind::CgFp16;
+
+  analysis::FaultPlan plan;
+  plan.seed = 5;
+  plan.indefinite_a_prob = 0.05;
+  plan.fp16_overflow_prob = 0.05;
+
+  const auto run_counts = [&](auto& engine) {
+    analysis::FaultInjector::instance().arm(plan);  // arm resets counts
+    engine.run_epoch();
+    engine.run_epoch();
+    const auto& c = analysis::FaultInjector::instance().counts();
+    return std::pair{c.indefinite_a.load(), c.fp16_overflow.load()};
+  };
+
+  AlsEngine reference(data.ratings, options);
+  MultiGpuAls quad(data.ratings, options, 4);
+  const auto ref_counts = run_counts(reference);
+  const auto quad_counts = run_counts(quad);
+  analysis::FaultInjector::instance().disarm();
+
+  EXPECT_GT(ref_counts.first + ref_counts.second, 0u);
+  EXPECT_EQ(ref_counts, quad_counts);
+  EXPECT_EQ(reference.user_factors(), quad.user_factors());
+  EXPECT_EQ(reference.item_factors(), quad.item_factors());
+  // Degradation accounting (CG breakdowns -> LU fallbacks, FP16 overflow
+  // -> FP32 retries) merges across devices without loss.
+  EXPECT_EQ(reference.solve_stats(), quad.solve_stats());
+  EXPECT_GT(quad.solve_stats().cg_fallbacks, 0u);
+  EXPECT_GT(quad.solve_stats().fp16_fallbacks, 0u);
+}
+
+TEST(MultiGpu, EpochHookAndRestoreContinueBitIdentically) {
+  const auto data = small_dataset(3000, 73);
+  AlsOptions options;
+  options.f = 12;
+
+  std::vector<int> hooked;
+  MultiGpuAls full(data.ratings, options, 4);
+  full.set_epoch_hook([&](int epoch) { hooked.push_back(epoch); });
+  full.run_epoch();
+  full.run_epoch();
+  const Matrix snap_x = full.user_factors();
+  const Matrix snap_theta = full.item_factors();
+  const SolveStats snap_stats = full.solve_stats();
+  full.run_epoch();
+  EXPECT_EQ(hooked, (std::vector<int>{1, 2, 3}));
+
+  // A fresh engine restored from the epoch-2 snapshot (with a different
+  // device count, like a post-crash resume on other hardware) must land on
+  // the same epoch-3 state and carry the stats baseline forward.
+  MultiGpuAls resumed(data.ratings, options, 2);
+  resumed.restore(snap_x, snap_theta, 2, snap_stats);
+  EXPECT_EQ(resumed.epochs_run(), 2);
+  resumed.run_epoch();
+  EXPECT_EQ(resumed.epochs_run(), 3);
+  EXPECT_EQ(resumed.user_factors(), full.user_factors());
+  EXPECT_EQ(resumed.item_factors(), full.item_factors());
+  EXPECT_EQ(resumed.solve_stats(), full.solve_stats());
 }
 
 TEST(MultiGpu, EpochTimeImprovesWithMoreGpus) {
@@ -484,6 +666,46 @@ TEST(MultiGpu, EpochTimeImprovesWithMoreGpus) {
       four.epoch_seconds(dev, config, gpusim::LinkSpec::nvlink());
   EXPECT_LT(t4, t1);
   EXPECT_GT(t4, t1 / 4.0);  // communication keeps it sublinear
+}
+
+TEST(MultiGpu, TimelineChargesInterconnectAndOverlap) {
+  const auto data = small_dataset(6000, 79);
+  AlsOptions options;
+  options.f = 16;
+  MultiGpuAls four(data.ratings, options, 4);
+  const auto dev = gpusim::DeviceSpec::pascal_p100();
+  const AlsKernelConfig config{};
+
+  const auto nvlink = gpusim::LinkSpec::nvlink();
+  const auto pcie = gpusim::LinkSpec::pcie3();
+  const auto overlapped = four.epoch_timeline(dev, config, nvlink);
+  const auto serial =
+      four.epoch_timeline(dev, config, nvlink, /*overlap=*/false);
+  // Same wire traffic either way; overlap only changes the exposed part.
+  EXPECT_DOUBLE_EQ(overlapped.update_x.comm_total_s,
+                   serial.update_x.comm_total_s);
+  EXPECT_GT(overlapped.comm_s(), 0.0);
+  EXPECT_LT(overlapped.comm_s(), serial.comm_s());
+  EXPECT_LT(overlapped.total_s(), serial.total_s());
+
+  // The slower link exposes more communication time.
+  const auto on_pcie = four.epoch_timeline(dev, config, pcie);
+  EXPECT_GT(on_pcie.comm_s(), overlapped.comm_s());
+
+  // One device pays no interconnect at all.
+  MultiGpuAls one(data.ratings, options, 1);
+  const auto alone = one.epoch_timeline(dev, config, nvlink);
+  EXPECT_EQ(alone.comm_s(), 0.0);
+
+  // And the scaling report is internally consistent.
+  const auto report = four.scaling_report(dev, config, nvlink);
+  EXPECT_EQ(report.gpus, 4);
+  EXPECT_NEAR(report.total_s, report.compute_s + report.comm_s, 1e-12);
+  EXPECT_NEAR(report.efficiency, report.speedup / 4.0, 1e-12);
+  EXPECT_GT(report.speedup, 1.0);
+  EXPECT_LT(report.speedup, 4.0);
+  EXPECT_GT(report.comm_fraction, 0.0);
+  EXPECT_LT(report.comm_fraction, 1.0);
 }
 
 // ---------- kernel cost-model bridge ----------

@@ -14,7 +14,9 @@
 #include "data/io.hpp"
 #include "data/loaders.hpp"
 #include "data/presets.hpp"
+#include "common/rng.hpp"
 #include "metrics/convergence.hpp"
+#include "metrics/ranking.hpp"
 #include "metrics/rmse.hpp"
 #include "metrics/roofline.hpp"
 #include "sparse/csr.hpp"
@@ -354,6 +356,105 @@ TEST(Roofline, OpCountsAccumulate) {
 
 
 // ---------- flexible loaders ----------
+
+// ---------- ranking ----------
+
+TEST(Ranking, AucRowLookupSurvivesEmptyLeadingAndTrailingRows) {
+  // Users 0–1 and 6–7 have no interactions; the sampled-position → row
+  // mapping (upper_bound over row_ptr) must still attribute every sample
+  // to its true owner. Factors are built so the owning row wins every
+  // comparison (+1 vs −1) while any other row would tie at −1 vs −1 —
+  // a mis-mapped row drags the estimate to 0.5.
+  const index_t m = 8;
+  const index_t n = 10;
+  RatingsCoo obs(m, n);
+  obs.add(2, 1, 1.0F);
+  obs.add(3, 4, 1.0F);
+  obs.add(4, 7, 1.0F);
+  obs.add(5, 9, 1.0F);
+  obs.sort_and_dedup();
+  const auto csr = CsrMatrix::from_coo(obs);
+
+  Matrix x(m, m);  // one-hot user factors: score(u, v) = theta(v, u)
+  for (index_t u = 0; u < m; ++u) {
+    x(u, u) = 1.0F;
+  }
+  Matrix theta(n, m);
+  for (index_t v = 0; v < n; ++v) {
+    for (index_t u = 0; u < m; ++u) {
+      theta(v, u) = -1.0F;
+    }
+  }
+  for (const Rating& e : obs.entries()) {
+    theta(e.v, e.u) = 1.0F;
+  }
+
+  Rng rng(17);
+  const double auc = auc_observed_vs_random(x, theta, csr, 400, rng);
+  // Exact value depends on how often the negative draw collides with the
+  // observed item (a tie, worth 0.5); anything near 0.5 means the sample
+  // was scored against the wrong user's factors.
+  EXPECT_GT(auc, 0.85);
+  EXPECT_LE(auc, 1.0);
+}
+
+TEST(Ranking, AucIsExactlyHalfWhenAllScoresTie) {
+  // All-zero factors make every comparison a tie; the tie accounting
+  // (0.5 credit each) must land on exactly 0.5, not 0 or 1.
+  RatingsCoo obs(3, 5);
+  obs.add(0, 0, 1.0F);
+  obs.add(1, 2, 1.0F);
+  obs.add(2, 4, 1.0F);
+  obs.sort_and_dedup();
+  const auto csr = CsrMatrix::from_coo(obs);
+  const Matrix x(3, 4);
+  const Matrix theta(5, 4);
+  Rng rng(23);
+  EXPECT_DOUBLE_EQ(auc_observed_vs_random(x, theta, csr, 128, rng), 0.5);
+}
+
+TEST(Ranking, TopKBreaksTiesByAscendingItemId) {
+  // Items 1 and 2 score identically; the deterministic tie-break (lower
+  // item id first) keeps recommendation lists reproducible across runs.
+  Matrix x(1, 1);
+  x(0, 0) = 1.0F;
+  Matrix theta(4, 1);
+  theta(0, 0) = 2.0F;
+  theta(1, 0) = 1.0F;
+  theta(2, 0) = 1.0F;
+  theta(3, 0) = 3.0F;
+  RatingsCoo seen(1, 4);
+  seen.add(0, 3, 5.0F);  // the top-scoring item is already rated
+  seen.sort_and_dedup();
+  const auto csr = CsrMatrix::from_coo(seen);
+
+  const auto recs = recommend_top_k(x, theta, csr, 0, 3);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].item, 0u);  // rated item 3 excluded despite score 3.0
+  EXPECT_EQ(recs[1].item, 1u);  // tie with item 2 → lower id first
+  EXPECT_EQ(recs[2].item, 2u);
+  EXPECT_EQ(recs[1].score, recs[2].score);
+}
+
+TEST(Ranking, TopKClampsToUnseenCandidates) {
+  Matrix x(1, 2);
+  x(0, 0) = 1.0F;
+  Matrix theta(3, 2);
+  theta(0, 0) = 1.0F;
+  theta(1, 0) = 2.0F;
+  theta(2, 0) = 3.0F;
+  RatingsCoo seen(1, 3);
+  seen.add(0, 2, 4.0F);
+  seen.sort_and_dedup();
+  const auto csr = CsrMatrix::from_coo(seen);
+
+  // k far beyond the candidate count returns every unseen item, best first.
+  const auto recs = recommend_top_k(x, theta, csr, 0, 100);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].item, 1u);
+  EXPECT_EQ(recs[1].item, 0u);
+  EXPECT_THROW(recommend_top_k(x, theta, csr, 5, 2), CheckError);
+}
 
 TEST(Loaders, ParsesTripletFormat) {
   std::stringstream ss("0 0 4.0\n# a comment\n\n2 1 3.5\n1 2 1.0\n");

@@ -11,6 +11,13 @@
 //   --solver S     lu | cholesky | cg | cg16 | pcg   (default cg16)
 //   --fs N         CG truncation (default 6)
 //   --workers N    host threads (default 1)
+//   --gpus N       train on N simulated devices (MultiGpuAls): nnz-balanced
+//                  row shards run concurrently, one solver+workspace per
+//                  device; factors are bit-identical to the single-engine
+//                  run. Adds the modeled multi-device timeline (compute,
+//                  all-gather, scaling efficiency) to --metrics records.
+//   --link L       interconnect for the multi-GPU model: pcie3 | nvlink
+//                  (default nvlink)
 //   --implicit A   treat input as implicit with confidence alpha = A
 //   --movielens    input uses the u::v::r::ts format (1-based ids)
 //   --test FRAC    hold out FRAC for test RMSE reporting (default 0.1)
@@ -55,6 +62,8 @@
 #include <limits>
 #include <optional>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 #include "analysis/faultinject.hpp"
 #include "analysis/precheck.hpp"
@@ -63,6 +72,7 @@
 #include "common/stopwatch.hpp"
 #include "core/als.hpp"
 #include "core/kernel_stats.hpp"
+#include "core/multi_gpu.hpp"
 #include "data/checkpoint.hpp"
 #include "data/loaders.hpp"
 #include "data/model_io.hpp"
@@ -85,7 +95,8 @@ namespace {
                "  cumf_train train <ratings> <model-out> [-f N] [-l X] "
                "[-t N]\n"
                "             [--solver lu|cholesky|cg|cg16|pcg] [--fs N]\n"
-               "             [--workers N] [--implicit ALPHA] [--movielens]\n"
+               "             [--workers N] [--gpus N] [--link pcie3|nvlink]\n"
+               "             [--implicit ALPHA] [--movielens]\n"
                "             [--test FRAC] [--seed N] [--cucheck]\n"
                "             [--trace FILE] [--metrics FILE] "
                "[--prof-summary]\n"
@@ -111,6 +122,345 @@ SolverKind parse_solver(const std::string& name) {
   std::exit(2);
 }
 
+/// Everything the explicit training loop needs besides the engine and the
+/// data. One struct so the loop can be a template over the engine type.
+struct ExplicitConfig {
+  std::string ratings_path;
+  std::string metrics_path;
+  std::string checkpoint_dir;
+  int f = 32;
+  double lambda = 0.05;
+  int epochs = 10;
+  SolverKind solver = SolverKind::CgFp16;
+  std::uint32_t fs = 6;
+  int workers = 1;
+  int gpus = 0;  ///< 0 = single-engine path (no --gpus given)
+  std::string link_name = "nvlink";
+  std::uint64_t seed = 1;
+  int checkpoint_every = 1;
+  bool resume = false;
+};
+
+/// The explicit-ALS epoch loop, templated over the engine so AlsEngine and
+/// MultiGpuAls share one implementation of resume, telemetry, checkpointing
+/// and fault-crash handling. Both engines expose the same surface
+/// (run_epoch / restore / solve_stats / factors / per-epoch ops), and their
+/// results are bit-identical, so everything but the multi-GPU timeline
+/// model is engine-agnostic.
+template <class Engine>
+int run_explicit(Engine& engine, const ExplicitConfig& cfg,
+                 const RatingsCoo& ratings, const TrainTestSplit& split,
+                 Rng& rng, FactorModel& model, SolveStats& final_stats) {
+  constexpr bool kMultiGpu = std::is_same_v<Engine, MultiGpuAls>;
+  Stopwatch sw;
+
+  // Resume: load and validate the newest checkpoint before training (and
+  // before the telemetry header, which records the resume point). A file
+  // that fails any structural check — magic, version, length, CRC — or
+  // that belongs to a different run configuration is a hard error naming
+  // the file and the reason; silently starting over would mask corruption.
+  // The checkpoint does not record a device count: factors are
+  // bit-identical across --gpus values, so a snapshot from a single-GPU
+  // run resumes exactly on four devices and vice versa.
+  std::optional<TrainCheckpoint> resumed;
+  if (cfg.resume) {
+    const auto latest = latest_checkpoint(cfg.checkpoint_dir);
+    if (!latest) {
+      std::printf("resume: no checkpoint in %s, starting fresh\n",
+                  cfg.checkpoint_dir.c_str());
+    } else {
+      try {
+        TrainCheckpoint ckpt = read_checkpoint_file(*latest);
+        std::string why;
+        if (ckpt.f != static_cast<std::uint64_t>(cfg.f)) {
+          why = "latent dimension differs";
+        } else if (ckpt.solver_kind !=
+                   static_cast<std::uint32_t>(cfg.solver)) {
+          why = "solver differs";
+        } else if (ckpt.cg_fs != cfg.fs) {
+          why = "CG truncation differs";
+        } else if (ckpt.lambda != static_cast<float>(cfg.lambda)) {
+          why = "lambda differs";
+        } else if (ckpt.seed != cfg.seed) {
+          why = "seed differs";
+        } else if (ckpt.rows != ratings.rows() ||
+                   ckpt.cols != ratings.cols() ||
+                   ckpt.train_nnz != split.train.nnz()) {
+          why = "dataset shape differs";
+        } else if (!(ckpt.rng == rng.state())) {
+          why = "holdout-split RNG state differs";
+        }
+        if (!why.empty()) {
+          throw CheckpointError(CkptReject::mismatch, why);
+        }
+        resumed = std::move(ckpt);
+      } catch (const CheckpointError& e) {
+        std::fprintf(stderr, "cumf_train: rejected checkpoint '%s': %s\n",
+                     latest->c_str(), e.what());
+        return 1;
+      }
+      std::printf("resumed from %s (after epoch %u, %.2f s trained)\n",
+                  latest->c_str(), resumed->epoch, resumed->train_seconds);
+    }
+  }
+  if (!cfg.checkpoint_dir.empty()) {
+    std::filesystem::create_directories(cfg.checkpoint_dir);
+  }
+
+  // Modeled multi-device timeline: cost-model compute per shard plus the
+  // ring all-gather over the chosen link, with pipelined overlap. The
+  // kernels (and therefore the model) are epoch-invariant, so evaluate
+  // once and surface the same numbers in every epoch record.
+  MultiGpuScaling scaling;
+  [[maybe_unused]] MultiGpuTimeline mgpu_timeline;
+  const auto mgpu_dev = gpusim::DeviceSpec::pascal_p100();
+  if constexpr (kMultiGpu) {
+    const gpusim::LinkSpec link = gpusim::link_by_name(cfg.link_name);
+    AlsKernelConfig kc;
+    kc.f = cfg.f;
+    kc.tile = pick_tile(static_cast<std::size_t>(cfg.f), kc.tile);
+    kc.solver = cfg.solver;
+    kc.cg_fs = cfg.fs;
+    scaling = engine.scaling_report(mgpu_dev, kc, link);
+    mgpu_timeline = engine.epoch_timeline(mgpu_dev, kc, link);
+    std::printf(
+        "multi-GPU model (%d x %s on %s): epoch %.3f s vs %.3f s on one "
+        "device — speedup %.2fx, efficiency %.0f%%, comm %.1f%%\n",
+        engine.gpus(), link.name.c_str(), mgpu_dev.name.c_str(),
+        scaling.total_s, scaling.single_gpu_s, scaling.speedup,
+        scaling.efficiency * 100.0, scaling.comm_fraction * 100.0);
+  }
+
+  prof::TelemetryWriter telemetry;
+  gpusim::TraceStats cache_sim;
+  const bool have_test = split.test.nnz() > 0;
+  if (!cfg.metrics_path.empty()) {
+    if (!telemetry.open(cfg.metrics_path)) {
+      std::fprintf(stderr, "cumf_train: cannot open '%s' for telemetry\n",
+                   cfg.metrics_path.c_str());
+      return 1;
+    }
+    // The cache-model numbers come from gpusim's trace-driven simulation
+    // of get_hermitian's load phase on the paper's Maxwell device, fed
+    // with this dataset's real row structure. The kernel (and thus the
+    // hit profile) is epoch-invariant, so simulate once up front.
+    const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
+    AlsKernelConfig kc;
+    kc.f = cfg.f;
+    kc.tile = pick_tile(static_cast<std::size_t>(cfg.f), kc.tile);
+    kc.solver = cfg.solver;
+    kc.cg_fs = cfg.fs;
+    const UpdateShape shape{static_cast<double>(ratings.rows()),
+                            static_cast<double>(ratings.cols()),
+                            static_cast<double>(split.train.nnz())};
+    prof::JsonObject header;
+    header.set("type", "header").set("schema", 1);
+    header.set("dataset", cfg.ratings_path);
+    header.set("rows", static_cast<std::uint64_t>(ratings.rows()));
+    header.set("cols", static_cast<std::uint64_t>(ratings.cols()));
+    header.set("train_nnz", static_cast<std::uint64_t>(split.train.nnz()));
+    header.set("test_nnz", static_cast<std::uint64_t>(split.test.nnz()));
+    header.set("f", cfg.f).set("lambda", cfg.lambda);
+    header.set("solver", to_string(cfg.solver));
+    header.set("fs", static_cast<std::uint64_t>(cfg.fs));
+    header.set("workers", cfg.workers).set("epochs", cfg.epochs);
+    header.set("seed", cfg.seed);
+    header.set("sim_device", dev.name);
+    if constexpr (kMultiGpu) {
+      header.set("gpus", engine.gpus());
+      header.set("link", cfg.link_name);
+      header.set("mgpu_sim_device", mgpu_dev.name);
+      // Per-device modeled compute (update-X + update-Θ shards summed):
+      // the raggedness here is the nnz balance the sharding achieved.
+      std::vector<double> per_device(mgpu_timeline.update_x.device_compute_s);
+      for (std::size_t d = 0; d < per_device.size(); ++d) {
+        per_device[d] += mgpu_timeline.update_theta.device_compute_s[d];
+      }
+      header.set_array("mgpu_device_compute_s", per_device);
+    }
+    if (resumed) {
+      header.set("resumed_from_epoch",
+                 static_cast<std::uint64_t>(resumed->epoch));
+    }
+    if (split.train.nnz() > 0) {
+      cache_sim = hermitian_load_stats(dev, shape, kc,
+                                       /*sample_rows=*/nullptr);
+    }
+    telemetry.write(header);
+  }
+
+  ConvergenceTracker tracker;
+  SolveStats prev_stats;
+  double final_rmse = std::numeric_limits<double>::quiet_NaN();
+  double time_offset = 0.0;
+  int start_epoch = 0;
+  if (resumed) {
+    engine.restore(resumed->x, resumed->theta,
+                   static_cast<int>(resumed->epoch), resumed->solve_stats);
+    for (const ConvergenceTracker::Point& p : resumed->curve) {
+      tracker.record(p.seconds, p.rmse, p.epoch);
+    }
+    if (!resumed->curve.empty()) {
+      final_rmse = resumed->curve.back().rmse;
+    }
+    prev_stats = resumed->solve_stats;
+    time_offset = resumed->train_seconds;
+    start_epoch = static_cast<int>(resumed->epoch);
+    sw.reset();  // the offset already covers pre-crash wall time
+  }
+  for (int epoch = start_epoch + 1; epoch <= cfg.epochs; ++epoch) {
+    engine.run_epoch();
+    const double epoch_s = sw.lap();
+
+    double eval_s = 0.0;
+    if (have_test) {
+      const std::uint64_t t0 = prof::now_ns();
+      final_rmse = rmse(split.test, engine.user_factors(),
+                        engine.item_factors());
+      const std::uint64_t t1 = prof::now_ns();
+      eval_s = static_cast<double>(t1 - t0) * 1e-9;
+      if (prof::Tracer::enabled()) {
+        prof::Tracer::instance().complete_span("rmse_eval", "metrics", t0,
+                                               t1);
+        CUMF_PROF_COUNTER("test_rmse", final_rmse);
+      }
+      tracker.record(time_offset + sw.seconds(), final_rmse, epoch);
+    }
+
+    if (telemetry.is_open()) {
+      const SolveStats cumulative = engine.solve_stats();
+      const SolveStats delta = cumulative - prev_stats;
+      prev_stats = cumulative;
+      const auto& phase = engine.phase_seconds_last_epoch();
+      const auto& herm_ops = engine.hermitian_ops_per_epoch();
+      const auto& solve_ops = engine.solve_ops_per_epoch();
+
+      prof::JsonObject rec;
+      rec.set("type", "epoch").set("epoch", epoch);
+      rec.set("seconds", time_offset + sw.seconds())
+          .set("epoch_s", epoch_s);
+      if (have_test) {
+        rec.set("rmse", final_rmse);
+      } else {
+        rec.set_null("rmse");
+      }
+      prof::JsonObject phase_obj;
+      phase_obj.set("hermitian", phase.hermitian);
+      phase_obj.set("solve", phase.solve);
+      phase_obj.set("rmse_eval", eval_s);
+      rec.set_raw("phase_s", phase_obj.str());
+
+      prof::JsonObject solver_obj;
+      solver_obj.set("systems", delta.systems);
+      solver_obj.set("cg_iterations", delta.cg_iterations);
+      solver_obj.set("failures", delta.failures);
+      solver_obj.set("cg_fallbacks", delta.cg_fallbacks);
+      solver_obj.set("fp16_fallbacks", delta.fp16_fallbacks);
+      solver_obj.set("fp16_pack_bytes", delta.fp16_converted * 2);
+      std::string hist = "{";
+      for (std::size_t i = 0; i < delta.cg_hist.size(); ++i) {
+        if (delta.cg_hist[i] == 0) {
+          continue;
+        }
+        if (hist.size() > 1) {
+          hist += ',';
+        }
+        hist += '"' + std::to_string(i) + "\":" +
+                std::to_string(delta.cg_hist[i]);
+      }
+      hist += '}';
+      solver_obj.set_raw("cg_hist", hist);
+      rec.set_raw("solver", solver_obj.str());
+
+      prof::JsonObject ops;
+      ops.set("hermitian_flops", herm_ops.flops);
+      ops.set("hermitian_bytes", herm_ops.bytes());
+      ops.set("solve_flops", solve_ops.flops);
+      ops.set("solve_bytes", solve_ops.bytes());
+      if (phase.hermitian > 0) {
+        ops.set("hermitian_gflops",
+                herm_ops.flops / phase.hermitian * 1e-9);
+      }
+      if (phase.solve > 0) {
+        ops.set("solve_gbps", solve_ops.bytes() / phase.solve * 1e-9);
+      }
+      rec.set_raw("host_ops", ops.str());
+
+      prof::JsonObject sim;
+      sim.set("l1_hit_rate", cache_sim.l1_hit_rate());
+      sim.set("l2_hit_rate", cache_sim.l2_hit_rate());
+      sim.set("dram_bytes", cache_sim.dram_bytes(128));
+      rec.set_raw("sim_cache", sim.str());
+
+      if constexpr (kMultiGpu) {
+        prof::JsonObject mg;
+        mg.set("gpus", engine.gpus());
+        mg.set("link", cfg.link_name);
+        mg.set("compute_s", scaling.compute_s);
+        mg.set("comm_s", scaling.comm_s);
+        mg.set("total_s", scaling.total_s);
+        mg.set("single_gpu_s", scaling.single_gpu_s);
+        mg.set("speedup", scaling.speedup);
+        mg.set("scaling_efficiency", scaling.efficiency);
+        mg.set("comm_fraction", scaling.comm_fraction);
+        rec.set_raw("multi_gpu", mg.str());
+      }
+
+      telemetry.write(rec);
+    }
+
+    if (!cfg.checkpoint_dir.empty() &&
+        (epoch % cfg.checkpoint_every == 0 || epoch == cfg.epochs)) {
+      TrainCheckpoint ckpt;
+      ckpt.epoch = static_cast<std::uint32_t>(epoch);
+      ckpt.rng = rng.state();
+      ckpt.train_seconds = time_offset + sw.seconds();
+      ckpt.solve_stats = engine.solve_stats();
+      ckpt.curve = tracker.curve();
+      ckpt.x = engine.user_factors();
+      ckpt.theta = engine.item_factors();
+      ckpt.seed = cfg.seed;
+      ckpt.f = static_cast<std::uint64_t>(cfg.f);
+      ckpt.solver_kind = static_cast<std::uint32_t>(cfg.solver);
+      ckpt.cg_fs = cfg.fs;
+      ckpt.lambda = static_cast<float>(cfg.lambda);
+      ckpt.rows = ratings.rows();
+      ckpt.cols = ratings.cols();
+      ckpt.train_nnz = static_cast<std::uint64_t>(split.train.nnz());
+      write_checkpoint_file(checkpoint_path(cfg.checkpoint_dir, epoch),
+                            ckpt);
+      prune_checkpoints(cfg.checkpoint_dir, 3);
+      if (analysis::FaultInjector::enabled() &&
+          analysis::FaultInjector::instance().should_crash_after_epoch(
+              epoch)) {
+        // Simulated crash: die without unwinding, exactly like a kill -9
+        // would. The checkpoint above is already durable (temp + rename),
+        // so a --resume run continues bit-identically from here.
+        std::fprintf(stderr,
+                     "fault injection: crashing after epoch %d "
+                     "(checkpoint is durable)\n",
+                     epoch);
+        std::fflush(nullptr);
+        std::_Exit(42);
+      }
+    }
+  }
+
+  std::printf("trained %d epochs (f=%d, %s) in %.2f s\n", cfg.epochs, cfg.f,
+              to_string(cfg.solver), time_offset + sw.seconds());
+  if (have_test) {
+    std::printf("test RMSE: %.4f\n", final_rmse);
+    std::printf("%s", tracker.to_csv().c_str());
+  }
+  if (telemetry.is_open()) {
+    std::printf("telemetry written to %s (%zu records)\n",
+                cfg.metrics_path.c_str(), telemetry.lines_written());
+  }
+  final_stats = engine.solve_stats();
+  model = FactorModel{engine.user_factors(), engine.item_factors()};
+  return 0;
+}
+
 int cmd_train(int argc, char** argv) {
   if (argc < 4) {
     usage();
@@ -123,6 +473,8 @@ int cmd_train(int argc, char** argv) {
   SolverKind solver = SolverKind::CgFp16;
   std::uint32_t fs = 6;
   int workers = 1;
+  int gpus = 0;  // 0 = --gpus not given: single-engine AlsEngine path
+  std::string link_name = "nvlink";
   std::optional<double> implicit_alpha;
   LoaderOptions loader;
   double test_fraction = 0.1;
@@ -158,6 +510,19 @@ int cmd_train(int argc, char** argv) {
       fs = static_cast<std::uint32_t>(std::atoi(next()));
     } else if (arg == "--workers") {
       workers = std::atoi(next());
+    } else if (arg == "--gpus") {
+      gpus = std::atoi(next());
+      if (gpus < 1) {
+        std::fprintf(stderr, "cumf_train: --gpus must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--link") {
+      link_name = next();
+      if (link_name != "pcie3" && link_name != "nvlink") {
+        std::fprintf(stderr,
+                     "cumf_train: --link must be pcie3 or nvlink\n");
+        return 2;
+      }
     } else if (arg == "--implicit") {
       implicit_alpha = std::atof(next());
     } else if (arg == "--movielens") {
@@ -219,6 +584,17 @@ int cmd_train(int argc, char** argv) {
   if (checkpoint_every < 1) {
     std::fprintf(stderr, "cumf_train: --checkpoint-every must be >= 1\n");
     return 2;
+  }
+  if (gpus > 0 && implicit_alpha) {
+    std::fprintf(stderr,
+                 "cumf_train: --gpus is only supported for the explicit "
+                 "ALS path\n");
+    return 2;
+  }
+  if (gpus > 1 && workers > 1) {
+    std::fprintf(stderr,
+                 "cumf_train: note: --workers is ignored with --gpus "
+                 "(the device count is the parallelism knob)\n");
   }
   if (inject) {
     analysis::FaultInjector::instance().arm(fault_plan);
@@ -293,8 +669,10 @@ int cmd_train(int argc, char** argv) {
                 to_string(solver), sw.seconds());
     model = FactorModel{fitted.user_factors(), fitted.item_factors()};
   } else {
-    // Explicit path: drive AlsEngine directly so every epoch yields a test
-    // RMSE point and, with --metrics, one telemetry record.
+    // Explicit path: drive AlsEngine (or, with --gpus, its multi-device
+    // counterpart) through the shared run_explicit loop so every epoch
+    // yields a test RMSE point and, with --metrics, one telemetry record.
+    // The two engines produce bit-identical factors.
     AlsOptions options;
     options.f = static_cast<std::size_t>(f);
     options.lambda = static_cast<real_t>(lambda);
@@ -303,256 +681,35 @@ int cmd_train(int argc, char** argv) {
     options.workers = workers;
     options.seed = seed;
 
-    // Resume: load and validate the newest checkpoint before training (and
-    // before the telemetry header, which records the resume point). A file
-    // that fails any structural check — magic, version, length, CRC — or
-    // that belongs to a different run configuration is a hard error naming
-    // the file and the reason; silently starting over would mask corruption.
-    std::optional<TrainCheckpoint> resumed;
-    if (resume) {
-      const auto latest = latest_checkpoint(checkpoint_dir);
-      if (!latest) {
-        std::printf("resume: no checkpoint in %s, starting fresh\n",
-                    checkpoint_dir.c_str());
-      } else {
-        try {
-          TrainCheckpoint ckpt = read_checkpoint_file(*latest);
-          std::string why;
-          if (ckpt.f != static_cast<std::uint64_t>(f)) {
-            why = "latent dimension differs";
-          } else if (ckpt.solver_kind != static_cast<std::uint32_t>(solver)) {
-            why = "solver differs";
-          } else if (ckpt.cg_fs != fs) {
-            why = "CG truncation differs";
-          } else if (ckpt.lambda != static_cast<float>(lambda)) {
-            why = "lambda differs";
-          } else if (ckpt.seed != seed) {
-            why = "seed differs";
-          } else if (ckpt.rows != ratings.rows() ||
-                     ckpt.cols != ratings.cols() ||
-                     ckpt.train_nnz != split.train.nnz()) {
-            why = "dataset shape differs";
-          } else if (!(ckpt.rng == rng.state())) {
-            why = "holdout-split RNG state differs";
-          }
-          if (!why.empty()) {
-            throw CheckpointError(CkptReject::mismatch, why);
-          }
-          resumed = std::move(ckpt);
-        } catch (const CheckpointError& e) {
-          std::fprintf(stderr, "cumf_train: rejected checkpoint '%s': %s\n",
-                       latest->c_str(), e.what());
-          return 1;
-        }
-        std::printf("resumed from %s (after epoch %u, %.2f s trained)\n",
-                    latest->c_str(), resumed->epoch, resumed->train_seconds);
-      }
+    ExplicitConfig cfg;
+    cfg.ratings_path = ratings_path;
+    cfg.metrics_path = metrics_path;
+    cfg.checkpoint_dir = checkpoint_dir;
+    cfg.f = f;
+    cfg.lambda = lambda;
+    cfg.epochs = epochs;
+    cfg.solver = solver;
+    cfg.fs = fs;
+    cfg.workers = workers;
+    cfg.gpus = gpus;
+    cfg.link_name = link_name;
+    cfg.seed = seed;
+    cfg.checkpoint_every = checkpoint_every;
+    cfg.resume = resume;
+
+    int rc = 0;
+    if (gpus >= 1) {
+      MultiGpuAls engine(split.train, options, gpus);
+      rc = run_explicit(engine, cfg, ratings, split, rng, model,
+                        final_stats);
+    } else {
+      AlsEngine engine(split.train, options);
+      rc = run_explicit(engine, cfg, ratings, split, rng, model,
+                        final_stats);
     }
-    if (!checkpoint_dir.empty()) {
-      std::filesystem::create_directories(checkpoint_dir);
+    if (rc != 0) {
+      return rc;
     }
-
-    prof::TelemetryWriter telemetry;
-    gpusim::TraceStats cache_sim;
-    const bool have_test = split.test.nnz() > 0;
-    if (!metrics_path.empty()) {
-      if (!telemetry.open(metrics_path)) {
-        std::fprintf(stderr, "cumf_train: cannot open '%s' for telemetry\n",
-                     metrics_path.c_str());
-        return 1;
-      }
-      // The cache-model numbers come from gpusim's trace-driven simulation
-      // of get_hermitian's load phase on the paper's Maxwell device, fed
-      // with this dataset's real row structure. The kernel (and thus the
-      // hit profile) is epoch-invariant, so simulate once up front.
-      const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
-      AlsKernelConfig kc;
-      kc.f = f;
-      kc.tile = pick_tile(options.f, kc.tile);
-      kc.solver = solver;
-      kc.cg_fs = fs;
-      const UpdateShape shape{static_cast<double>(ratings.rows()),
-                              static_cast<double>(ratings.cols()),
-                              static_cast<double>(split.train.nnz())};
-      prof::JsonObject header;
-      header.set("type", "header").set("schema", 1);
-      header.set("dataset", ratings_path);
-      header.set("rows", static_cast<std::uint64_t>(ratings.rows()));
-      header.set("cols", static_cast<std::uint64_t>(ratings.cols()));
-      header.set("train_nnz", static_cast<std::uint64_t>(split.train.nnz()));
-      header.set("test_nnz", static_cast<std::uint64_t>(split.test.nnz()));
-      header.set("f", f).set("lambda", lambda);
-      header.set("solver", to_string(solver));
-      header.set("fs", static_cast<std::uint64_t>(fs));
-      header.set("workers", workers).set("epochs", epochs);
-      header.set("seed", seed);
-      header.set("sim_device", dev.name);
-      if (resumed) {
-        header.set("resumed_from_epoch",
-                   static_cast<std::uint64_t>(resumed->epoch));
-      }
-      if (split.train.nnz() > 0) {
-        cache_sim = hermitian_load_stats(dev, shape, kc,
-                                         /*sample_rows=*/nullptr);
-      }
-      telemetry.write(header);
-    }
-
-    AlsEngine engine(split.train, options);
-    ConvergenceTracker tracker;
-    SolveStats prev_stats;
-    double final_rmse = std::numeric_limits<double>::quiet_NaN();
-    double time_offset = 0.0;
-    int start_epoch = 0;
-    if (resumed) {
-      engine.restore(resumed->x, resumed->theta,
-                     static_cast<int>(resumed->epoch), resumed->solve_stats);
-      for (const ConvergenceTracker::Point& p : resumed->curve) {
-        tracker.record(p.seconds, p.rmse, p.epoch);
-      }
-      if (!resumed->curve.empty()) {
-        final_rmse = resumed->curve.back().rmse;
-      }
-      prev_stats = resumed->solve_stats;
-      time_offset = resumed->train_seconds;
-      start_epoch = static_cast<int>(resumed->epoch);
-      sw.reset();  // the offset already covers pre-crash wall time
-    }
-    for (int epoch = start_epoch + 1; epoch <= epochs; ++epoch) {
-      engine.run_epoch();
-      const double epoch_s = sw.lap();
-
-      double eval_s = 0.0;
-      if (have_test) {
-        const std::uint64_t t0 = prof::now_ns();
-        final_rmse = rmse(split.test, engine.user_factors(),
-                          engine.item_factors());
-        const std::uint64_t t1 = prof::now_ns();
-        eval_s = static_cast<double>(t1 - t0) * 1e-9;
-        if (prof::Tracer::enabled()) {
-          prof::Tracer::instance().complete_span("rmse_eval", "metrics", t0,
-                                                 t1);
-          CUMF_PROF_COUNTER("test_rmse", final_rmse);
-        }
-        tracker.record(time_offset + sw.seconds(), final_rmse, epoch);
-      }
-
-      if (telemetry.is_open()) {
-        const SolveStats cumulative = engine.solve_stats();
-        const SolveStats delta = cumulative - prev_stats;
-        prev_stats = cumulative;
-        const auto& phase = engine.phase_seconds_last_epoch();
-        const auto& herm_ops = engine.hermitian_ops_per_epoch();
-        const auto& solve_ops = engine.solve_ops_per_epoch();
-
-        prof::JsonObject rec;
-        rec.set("type", "epoch").set("epoch", epoch);
-        rec.set("seconds", time_offset + sw.seconds())
-            .set("epoch_s", epoch_s);
-        if (have_test) {
-          rec.set("rmse", final_rmse);
-        } else {
-          rec.set_null("rmse");
-        }
-        prof::JsonObject phase_obj;
-        phase_obj.set("hermitian", phase.hermitian);
-        phase_obj.set("solve", phase.solve);
-        phase_obj.set("rmse_eval", eval_s);
-        rec.set_raw("phase_s", phase_obj.str());
-
-        prof::JsonObject solver_obj;
-        solver_obj.set("systems", delta.systems);
-        solver_obj.set("cg_iterations", delta.cg_iterations);
-        solver_obj.set("failures", delta.failures);
-        solver_obj.set("cg_fallbacks", delta.cg_fallbacks);
-        solver_obj.set("fp16_fallbacks", delta.fp16_fallbacks);
-        solver_obj.set("fp16_pack_bytes", delta.fp16_converted * 2);
-        std::string hist = "{";
-        for (std::size_t i = 0; i < delta.cg_hist.size(); ++i) {
-          if (delta.cg_hist[i] == 0) {
-            continue;
-          }
-          if (hist.size() > 1) {
-            hist += ',';
-          }
-          hist += '"' + std::to_string(i) + "\":" +
-                  std::to_string(delta.cg_hist[i]);
-        }
-        hist += '}';
-        solver_obj.set_raw("cg_hist", hist);
-        rec.set_raw("solver", solver_obj.str());
-
-        prof::JsonObject ops;
-        ops.set("hermitian_flops", herm_ops.flops);
-        ops.set("hermitian_bytes", herm_ops.bytes());
-        ops.set("solve_flops", solve_ops.flops);
-        ops.set("solve_bytes", solve_ops.bytes());
-        if (phase.hermitian > 0) {
-          ops.set("hermitian_gflops",
-                  herm_ops.flops / phase.hermitian * 1e-9);
-        }
-        if (phase.solve > 0) {
-          ops.set("solve_gbps", solve_ops.bytes() / phase.solve * 1e-9);
-        }
-        rec.set_raw("host_ops", ops.str());
-
-        prof::JsonObject sim;
-        sim.set("l1_hit_rate", cache_sim.l1_hit_rate());
-        sim.set("l2_hit_rate", cache_sim.l2_hit_rate());
-        sim.set("dram_bytes", cache_sim.dram_bytes(128));
-        rec.set_raw("sim_cache", sim.str());
-
-        telemetry.write(rec);
-      }
-
-      if (!checkpoint_dir.empty() &&
-          (epoch % checkpoint_every == 0 || epoch == epochs)) {
-        TrainCheckpoint ckpt;
-        ckpt.epoch = static_cast<std::uint32_t>(epoch);
-        ckpt.rng = rng.state();
-        ckpt.train_seconds = time_offset + sw.seconds();
-        ckpt.solve_stats = engine.solve_stats();
-        ckpt.curve = tracker.curve();
-        ckpt.x = engine.user_factors();
-        ckpt.theta = engine.item_factors();
-        ckpt.seed = seed;
-        ckpt.f = static_cast<std::uint64_t>(f);
-        ckpt.solver_kind = static_cast<std::uint32_t>(solver);
-        ckpt.cg_fs = fs;
-        ckpt.lambda = static_cast<float>(lambda);
-        ckpt.rows = ratings.rows();
-        ckpt.cols = ratings.cols();
-        ckpt.train_nnz = static_cast<std::uint64_t>(split.train.nnz());
-        write_checkpoint_file(checkpoint_path(checkpoint_dir, epoch), ckpt);
-        prune_checkpoints(checkpoint_dir, 3);
-        if (analysis::FaultInjector::enabled() &&
-            analysis::FaultInjector::instance().should_crash_after_epoch(
-                epoch)) {
-          // Simulated crash: die without unwinding, exactly like a kill -9
-          // would. The checkpoint above is already durable (temp + rename),
-          // so a --resume run continues bit-identically from here.
-          std::fprintf(stderr,
-                       "fault injection: crashing after epoch %d "
-                       "(checkpoint is durable)\n",
-                       epoch);
-          std::fflush(nullptr);
-          std::_Exit(42);
-        }
-      }
-    }
-
-    std::printf("trained %d epochs (f=%d, %s) in %.2f s\n", epochs, f,
-                to_string(solver), time_offset + sw.seconds());
-    if (have_test) {
-      std::printf("test RMSE: %.4f\n", final_rmse);
-      std::printf("%s", tracker.to_csv().c_str());
-    }
-    if (telemetry.is_open()) {
-      std::printf("telemetry written to %s (%zu records)\n",
-                  metrics_path.c_str(), telemetry.lines_written());
-    }
-    final_stats = engine.solve_stats();
-    model = FactorModel{engine.user_factors(), engine.item_factors()};
   }
 
   if (inject) {
