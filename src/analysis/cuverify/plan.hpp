@@ -1,0 +1,154 @@
+// cuverify AccessPlan IR — a symbolic description of a kernel launch.
+//
+// Each cusim kernel declares, alongside its coroutine lambda, an AccessPlan:
+// the launch geometry, the buffers it touches, and — per barrier-delimited
+// segment — every memory access as an affine index expression over
+// (block, thread, loop) variables. The pass pipeline in
+// analysis/cuverify/verify.hpp consumes plans to prove bounds, predict
+// coalescing and shared-memory bank conflicts, and detect barrier races
+// *without executing a single kernel* (the cusim launch counter stays at
+// zero; tests assert it).
+//
+// The index language is deliberately small but exact for the cuMF kernels:
+//
+//   index(b, t, k0, k1, ...) = base
+//                            + block_coeff  · b
+//                            + thread_term(t)              (coeff or table)
+//                            + Σ_d loop_coeffs[d] · k_d
+//
+// with two escape hatches that keep data-dependent patterns analyzable:
+//   * a per-thread value table (`thread_table`) for non-affine thread maps
+//     like the hermitian kernel's triangular tile enumeration, computed on
+//     the host at plan-build time;
+//   * an optional gather map applied to the composed value — exact when the
+//     indirection data (the CSR column ids) is available at build time, or
+//     a conservative "somewhere in [0, gather_extent)" interval when only
+//     the range is known.
+// A guard expression (same variable set, `guard < guard_bound`) models loop
+// trip bounds like `idx < len·f` in strided staging loops.
+//
+// This header is dependency-light (cusim types only) so cusim/kernels.cpp
+// can build plans without a cusim → analysis link cycle; the passes
+// themselves live in cumf_analysis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "cusim/cusim.hpp"
+
+namespace cumf::analysis::cuverify {
+
+/// One loop dimension of an access's iteration domain: the loop variable
+/// ranges over [0, extent).
+struct LoopDim {
+  std::uint32_t extent = 1;
+  const char* name = "i";
+};
+
+/// An affine form over (block, thread, loop...) variables; see the file
+/// comment for the composition rule.
+struct AffineForm {
+  std::int64_t base = 0;
+  std::int64_t block_coeff = 0;   ///< contribution block_coeff · blockIdx.x
+  std::int64_t thread_coeff = 0;  ///< contribution thread_coeff · tid
+  /// Non-affine per-thread contribution (overrides thread_coeff when
+  /// non-empty); indexed by linear tid, must cover every participating
+  /// thread of the access.
+  std::vector<std::int64_t> thread_table;
+  std::vector<std::int64_t> loop_coeffs;  ///< one per LoopDim (missing ⇒ 0)
+
+  std::int64_t thread_term(std::uint32_t tid) const {
+    if (thread_table.empty()) {
+      return thread_coeff * static_cast<std::int64_t>(tid);
+    }
+    CUMF_EXPECTS(tid < thread_table.size(),
+                 "plan thread_table does not cover a participating thread");
+    return thread_table[tid];
+  }
+
+  std::int64_t eval(std::uint32_t block, std::uint32_t tid,
+                    std::span<const std::uint32_t> iter) const {
+    std::int64_t v = base + block_coeff * static_cast<std::int64_t>(block) +
+                     thread_term(tid);
+    for (std::size_t d = 0; d < loop_coeffs.size(); ++d) {
+      v += loop_coeffs[d] *
+           static_cast<std::int64_t>(d < iter.size() ? iter[d] : 0U);
+    }
+    return v;
+  }
+};
+
+/// One declared memory access (or family of accesses, over its iteration
+/// domain). A read-modify-write is declared as two accesses (read + write)
+/// with the same index, matching what the checked spans observe dynamically.
+struct PlanAccess {
+  std::uint32_t buffer = 0;  ///< index into AccessPlan::buffers
+  cusim::AccessKind kind = cusim::AccessKind::Read;
+  /// Participating threads: linear tids in [thread_begin, thread_end);
+  /// thread_end == 0 means the whole block.
+  std::uint32_t thread_begin = 0;
+  std::uint32_t thread_end = 0;
+  std::vector<LoopDim> loops;  ///< iteration domain beyond the thread
+  AffineForm index;            ///< element index (pre-gather)
+  /// Optional exact gather: element = gather[index]. Built from host data
+  /// (e.g. CSR column ids), so the pass sees the true target addresses.
+  std::vector<std::int64_t> gather;
+  /// Conservative gather: with `gather` empty and gather_extent > 0, the
+  /// element lands somewhere in [0, gather_extent) — enough for bounds, and
+  /// worst-case for coalescing.
+  std::int64_t gather_extent = 0;
+  /// Optional guard: the access happens only when guard(vars) < guard_bound
+  /// (models data-dependent trip counts like `idx < len·f`).
+  std::optional<AffineForm> guard;
+  std::int64_t guard_bound = 0;
+  const char* label = "";  ///< source-level name for findings
+};
+
+/// One buffer the kernel touches.
+struct PlanBuffer {
+  const char* name = "";
+  cusim::MemSpace space = cusim::MemSpace::Shared;
+  std::uint64_t extent = 0;      ///< elements
+  std::uint32_t elem_bytes = 4;  ///< sizeof the element type
+  /// Shared buffers: byte offset of element 0 within the block's dynamic
+  /// shared allocation (drives bank-conflict and racecheck addressing).
+  /// Global buffers: synthetic base byte address (drives line analysis).
+  std::uint64_t base_bytes = 0;
+};
+
+/// Everything between two consecutive __syncthreads() (or kernel entry/exit).
+struct PlanSegment {
+  std::vector<PlanAccess> accesses;
+  /// Threads reaching the __syncthreads() that terminates this segment:
+  /// [barrier_thread_begin, barrier_thread_end), end == 0 meaning the whole
+  /// block. Ignored for the final segment (which ends at kernel exit). A
+  /// proper subset is a declared barrier-divergence bug; the barrier pass
+  /// turns it into an error finding.
+  std::uint32_t barrier_thread_begin = 0;
+  std::uint32_t barrier_thread_end = 0;
+};
+
+struct AccessPlan {
+  std::string kernel;  ///< kernel name (optionally with config summary)
+  cusim::Dim3 grid;
+  cusim::Dim3 block;
+  std::size_t shared_bytes = 0;
+  /// Declared register demand per thread (occupancy pass input).
+  int regs_per_thread = 32;
+  std::vector<PlanBuffer> buffers;
+  std::vector<PlanSegment> segments;
+
+  std::uint32_t threads() const noexcept { return block.count(); }
+
+  /// Resolved participation range of an access within this plan's block.
+  std::uint32_t access_thread_end(const PlanAccess& a) const noexcept {
+    return a.thread_end == 0 ? threads() : a.thread_end;
+  }
+};
+
+}  // namespace cumf::analysis::cuverify

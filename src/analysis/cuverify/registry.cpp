@@ -1,0 +1,65 @@
+#include "analysis/cuverify/registry.hpp"
+
+#include <cstddef>
+
+#include "cusim/kernels.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace cumf::analysis::cuverify {
+
+namespace {
+
+/// Deterministic scattered column set (sorted order is not required by the
+/// kernels; a stride-37 scatter exercises the non-contiguous gather path).
+std::vector<index_t> synthetic_cols(std::size_t nnz, std::size_t theta_rows) {
+  std::vector<index_t> cols(nnz);
+  for (std::size_t i = 0; i < nnz; ++i) {
+    cols[i] = static_cast<index_t>((i * 37) % theta_rows);
+  }
+  return cols;
+}
+
+RegisteredLaunch hermitian_launch(std::size_t f, int tile, int bin,
+                                  std::size_t nnz, std::size_t theta_rows) {
+  cusim::HermitianPlanParams params;
+  params.rows = 8;
+  params.theta_rows = theta_rows;
+  params.f = f;
+  params.tile = tile;
+  params.bin = bin;
+  params.cols = synthetic_cols(nnz, theta_rows);
+  params.regs_per_thread =
+      gpusim::hermitian_regs_per_thread(static_cast<int>(f), tile);
+  RegisteredLaunch launch;
+  launch.name = "hermitian f=" + std::to_string(f) +
+                " tile=" + std::to_string(tile) +
+                " bin=" + std::to_string(bin) +
+                " nnz=" + std::to_string(nnz);
+  launch.plan = cusim::hermitian_kernel_plan(params);
+  return launch;
+}
+
+RegisteredLaunch cg_launch(std::size_t batch, std::size_t f,
+                           std::uint32_t fs) {
+  RegisteredLaunch launch;
+  launch.name = "cg batch=" + std::to_string(batch) +
+                " f=" + std::to_string(f) + " fs=" + std::to_string(fs);
+  launch.plan = cusim::cg_kernel_plan(batch, f, fs);
+  return launch;
+}
+
+}  // namespace
+
+std::vector<RegisteredLaunch> registered_launches() {
+  std::vector<RegisteredLaunch> launches;
+  // Paper-scale hermitian (f=100, T=10, BIN=32) plus the small shapes the
+  // dynamic tests use, so static and dynamic coverage overlap.
+  launches.push_back(hermitian_launch(16, 4, 8, 30, 64));
+  launches.push_back(hermitian_launch(32, 8, 16, 40, 128));
+  launches.push_back(hermitian_launch(100, 10, 32, 50, 256));
+  launches.push_back(cg_launch(4, 12, 6));
+  launches.push_back(cg_launch(2, 32, 8));
+  return launches;
+}
+
+}  // namespace cumf::analysis::cuverify

@@ -1,0 +1,26 @@
+// The audited launch registry — every cusim kernel in every supported
+// launch shape, as declared AccessPlans.
+//
+// tools/cuslint --all and the test suite iterate this list; a kernel (or a
+// new launch configuration of an existing one) added here is automatically
+// run through every cuverify pass by the CI static-verify job. Plans use
+// deterministic synthetic column sets so the audit is reproducible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/cuverify/plan.hpp"
+
+namespace cumf::analysis::cuverify {
+
+/// One audited kernel × launch-config combination.
+struct RegisteredLaunch {
+  std::string name;
+  AccessPlan plan;
+};
+
+/// The full registry, in a stable order.
+std::vector<RegisteredLaunch> registered_launches();
+
+}  // namespace cumf::analysis::cuverify

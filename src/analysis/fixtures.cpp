@@ -1,5 +1,6 @@
 #include "analysis/fixtures.hpp"
 
+#include <array>
 #include <vector>
 
 #include "analysis/spans.hpp"
@@ -7,10 +8,13 @@
 
 namespace cumf::analysis::fixtures {
 
+using cusim::AccessKind;
 using cusim::Dim3;
 using cusim::KernelCtx;
 using cusim::LaunchConfig;
+using cusim::MemSpace;
 using cusim::ThreadTask;
+namespace cv = cuverify;
 
 CheckReport run_shared_race() {
   LaunchConfig config{Dim3{1}, Dim3{8}, sizeof(real_t)};
@@ -22,6 +26,25 @@ CheckReport run_shared_race() {
     co_return;
   });
 }
+
+namespace {
+
+cv::AccessPlan plan_shared_race() {
+  cv::AccessPlan plan;
+  plan.kernel = "fixture:shared_race";
+  plan.grid = Dim3{1};
+  plan.block = Dim3{8};
+  plan.shared_bytes = sizeof(real_t);
+  plan.buffers = {{"cell", MemSpace::Shared, 1, sizeof(real_t), 0}};
+  cv::PlanAccess wr;
+  wr.buffer = 0;
+  wr.kind = AccessKind::Write;
+  wr.label = "cell";
+  plan.segments.push_back({{wr}, 0, 0});
+  return plan;
+}
+
+}  // namespace
 
 CheckReport run_missing_barrier() {
   std::vector<real_t> out(16, 0);
@@ -38,6 +61,37 @@ CheckReport run_missing_barrier() {
   });
 }
 
+namespace {
+
+cv::AccessPlan plan_missing_barrier() {
+  cv::AccessPlan plan;
+  plan.kernel = "fixture:missing_barrier";
+  plan.grid = Dim3{1};
+  plan.block = Dim3{16};
+  plan.shared_bytes = sizeof(real_t);
+  plan.buffers = {{"cell", MemSpace::Shared, 1, sizeof(real_t), 0},
+                  {"out", MemSpace::Global, 16, sizeof(real_t),
+                   0x4000'0000ULL}};
+  cv::PlanAccess produce;
+  produce.buffer = 0;
+  produce.kind = AccessKind::Write;
+  produce.thread_end = 1;  // only thread 0 writes
+  produce.label = "cell";
+  cv::PlanAccess consume;
+  consume.buffer = 0;
+  consume.kind = AccessKind::Read;
+  consume.label = "cell";
+  cv::PlanAccess sink;
+  sink.buffer = 1;
+  sink.kind = AccessKind::Write;
+  sink.index.thread_coeff = 1;
+  sink.label = "out";
+  plan.segments.push_back({{produce, consume, sink}, 0, 0});
+  return plan;
+}
+
+}  // namespace
+
 CheckReport run_oob_shared_write() {
   LaunchConfig config{Dim3{1}, Dim3{4}, 4 * sizeof(real_t)};
   return launch_checked(config, [](KernelCtx ctx) -> ThreadTask {
@@ -50,6 +104,34 @@ CheckReport run_oob_shared_write() {
     co_return;
   });
 }
+
+namespace {
+
+cv::AccessPlan plan_oob_shared_write() {
+  cv::AccessPlan plan;
+  plan.kernel = "fixture:oob_shared_write";
+  plan.grid = Dim3{1};
+  plan.block = Dim3{4};
+  plan.shared_bytes = 4 * sizeof(real_t);
+  plan.buffers = {{"staged", MemSpace::Shared, 4, sizeof(real_t), 0}};
+  cv::PlanAccess owned;
+  owned.buffer = 0;
+  owned.kind = AccessKind::Write;
+  owned.index.thread_coeff = 1;
+  owned.label = "staged";
+  cv::PlanAccess over;  // the t == blockDim-1 branch: staged[t + 1]
+  over.buffer = 0;
+  over.kind = AccessKind::Write;
+  over.thread_begin = 3;
+  over.thread_end = 4;
+  over.index.base = 1;
+  over.index.thread_coeff = 1;
+  over.label = "staged";
+  plan.segments.push_back({{owned, over}, 0, 0});
+  return plan;
+}
+
+}  // namespace
 
 CheckReport run_oob_global_read() {
   std::vector<real_t> theta(6, 1.0F);
@@ -69,6 +151,39 @@ CheckReport run_oob_global_read() {
   });
 }
 
+namespace {
+
+cv::AccessPlan plan_oob_global_read() {
+  cv::AccessPlan plan;
+  plan.kernel = "fixture:oob_global_read";
+  plan.grid = Dim3{1};
+  plan.block = Dim3{4};
+  plan.buffers = {{"theta", MemSpace::Global, 6, sizeof(real_t),
+                   0x1000'0000ULL},
+                  {"out", MemSpace::Global, 4, sizeof(real_t),
+                   0x4000'0000ULL}};
+  // i = t + 4k with the buggy bound i < 8 declared as the guard — the plan
+  // states what the kernel *does*, and the bounds pass proves it wrong.
+  cv::PlanAccess read;
+  read.buffer = 0;
+  read.kind = AccessKind::Read;
+  read.loops = {{2, "k"}};
+  read.index.thread_coeff = 1;
+  read.index.loop_coeffs = {4};
+  read.guard = read.index;
+  read.guard_bound = 8;
+  read.label = "theta";
+  cv::PlanAccess sink;
+  sink.buffer = 1;
+  sink.kind = AccessKind::Write;
+  sink.index.thread_coeff = 1;
+  sink.label = "out";
+  plan.segments.push_back({{read, sink}, 0, 0});
+  return plan;
+}
+
+}  // namespace
+
 CheckReport run_barrier_divergence() {
   LaunchConfig config{Dim3{1}, Dim3{4}, 0};
   return launch_checked(config, [](KernelCtx ctx) -> ThreadTask {
@@ -78,5 +193,36 @@ CheckReport run_barrier_divergence() {
     co_return;
   });
 }
+
+namespace {
+
+cv::AccessPlan plan_barrier_divergence() {
+  cv::AccessPlan plan;
+  plan.kernel = "fixture:barrier_divergence";
+  plan.grid = Dim3{1};
+  plan.block = Dim3{4};
+  // Segment 0 ends at a barrier only threads [0, 2) reach — the declared
+  // form of the divergent branch; the final segment is the fall-through.
+  plan.segments.push_back({{}, 0, 2});
+  plan.segments.push_back({{}, 0, 0});
+  return plan;
+}
+
+constexpr std::array<BugFixture, 5> kFixtures = {{
+    {"shared_race", HazardKind::WriteWrite, run_shared_race,
+     plan_shared_race},
+    {"missing_barrier", HazardKind::ReadWrite, run_missing_barrier,
+     plan_missing_barrier},
+    {"oob_shared_write", HazardKind::OutOfBounds, run_oob_shared_write,
+     plan_oob_shared_write},
+    {"oob_global_read", HazardKind::OutOfBounds, run_oob_global_read,
+     plan_oob_global_read},
+    {"barrier_divergence", HazardKind::BarrierDivergence,
+     run_barrier_divergence, plan_barrier_divergence},
+}};
+
+}  // namespace
+
+std::span<const BugFixture> all_fixtures() { return kFixtures; }
 
 }  // namespace cumf::analysis::fixtures

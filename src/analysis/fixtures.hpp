@@ -1,15 +1,37 @@
-// Intentionally buggy cusim kernels — cucheck's regression corpus.
+// Intentionally buggy cusim kernels — the shared regression corpus for BOTH
+// analysis layers.
 //
 // Each fixture plants one representative member of a GPU bug class (the
-// classes compute-sanitizer exists for) and runs it under launch_checked.
-// Tests assert that the resulting report names the hazard and the offending
-// thread coordinates; if a future change to the checker stops seeing one of
-// these, the corpus catches the regression.
+// classes compute-sanitizer exists for) and exposes the same bug twice:
+//   * run_dynamic — executes the kernel under launch_checked; the dynamic
+//     checker must report the planted hazard.
+//   * plan        — the kernel's declared AccessPlan; cuverify's static
+//     passes must flag the same bug with zero execution.
+// Tests and tools/cuslint iterate all_fixtures() — the single registration
+// point — so a fixture added here is automatically exercised by the dynamic
+// cucheck tests, the static cuverify tests, the dynamic/static differential
+// suite, and the cuslint CI audit. No ad-hoc per-test enumeration.
 #pragma once
 
+#include <span>
+
 #include "analysis/cucheck.hpp"
+#include "analysis/cuverify/plan.hpp"
 
 namespace cumf::analysis::fixtures {
+
+struct BugFixture {
+  const char* name = "";
+  /// The planted bug, in dynamic vocabulary (what launch_checked reports).
+  HazardKind expected = HazardKind::WriteWrite;
+  /// Executes the buggy kernel under the dynamic checker.
+  CheckReport (*run_dynamic)() = nullptr;
+  /// The kernel's declared AccessPlan for the static passes.
+  cuverify::AccessPlan (*plan)() = nullptr;
+};
+
+/// The whole corpus, in registration order.
+std::span<const BugFixture> all_fixtures();
 
 /// Every thread of the block writes shared[0] in the same epoch: a
 /// write-write race.

@@ -116,6 +116,27 @@ PrecheckResult run_precheck(const CsrMatrix& r, const Matrix& theta,
   return result;
 }
 
+std::vector<Finding> PrecheckResult::findings() const {
+  std::vector<Finding> out;
+  const auto add_hazards = [&out](const CheckReport& report,
+                                  const char* subject) {
+    for (const Hazard& hazard : report.hazards) {
+      out.push_back({Severity::Error, "cucheck", subject, hazard.message});
+    }
+  };
+  add_hazards(hermitian, "hermitian kernel");
+  add_hazards(cg, "batch-CG kernel");
+  if (!coalesce.clean()) {
+    std::ostringstream os;
+    os << "cucheck coalesce: " << coalesce.flagged << " of "
+       << coalesce.instructions << " warp instructions over the "
+       << coalesce.budget << "-line budget (worst " << coalesce.worst_lines
+       << ")";
+    out.push_back({Severity::Warning, "coalesce", "hermitian load", os.str()});
+  }
+  return out;
+}
+
 std::string PrecheckResult::summary() const {
   std::ostringstream os;
   os << "=== cucheck precheck: hermitian kernel ===\n"

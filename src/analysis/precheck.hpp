@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "analysis/coalesce.hpp"
 #include "analysis/cucheck.hpp"
+#include "analysis/report.hpp"
 #include "linalg/dense.hpp"
 #include "sparse/csr.hpp"
 
@@ -40,6 +42,14 @@ struct PrecheckResult {
   /// the expected finding, not a bug.
   bool clean() const noexcept { return hermitian.clean() && cg.clean(); }
   std::string summary() const;
+
+  /// The report flattened into the shared analysis/report.hpp scale — the
+  /// same Finding records `cumf_train --cuverify` and tools/cuslint emit, so
+  /// the dynamic and static gates share one severity/format/exit convention.
+  /// Hazards map to Error; over-budget coalescing instructions to Warning.
+  std::vector<Finding> findings() const;
+  /// Shared exit-code convention: 1 on any error-severity finding, else 0.
+  int exit_code() const { return analysis::exit_code(findings()); }
 };
 
 /// Runs the checked iteration. `theta` must have `r.cols()` rows; its column

@@ -1,0 +1,43 @@
+#include "analysis/report.hpp"
+
+#include <sstream>
+
+namespace cumf::analysis {
+
+const char* to_string(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::Info:
+      return "info";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::size_t count(std::span<const Finding> findings,
+                  Severity severity) noexcept {
+  std::size_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.severity == severity) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int exit_code(std::span<const Finding> findings) noexcept {
+  return count(findings, Severity::Error) > 0 ? 1 : 0;
+}
+
+std::string render(std::span<const Finding> findings) {
+  std::ostringstream os;
+  for (const Finding& f : findings) {
+    os << to_string(f.severity) << " [" << f.pass << "] " << f.subject
+       << ": " << f.message << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cumf::analysis

@@ -1,6 +1,7 @@
 #include "core/hermitian.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 #include "half/half.hpp"
@@ -169,6 +170,30 @@ void get_hermitian_row_reference(const CsrMatrix& r, const Matrix& theta,
   for (std::size_t i = 0; i < f; ++i) {
     a_out[i * f + i] += ridge;
   }
+}
+
+HermitianValueBounds hermitian_value_bounds(const CsrMatrix& r,
+                                            double theta_absmax,
+                                            double lambda) {
+  HermitianValueBounds out;
+  for (index_t u = 0; u < r.rows(); ++u) {
+    const auto nnz = static_cast<std::uint64_t>(r.row_nnz(u));
+    if (nnz == 0) {
+      continue;
+    }
+    out.max_nnz = std::max(out.max_nnz, nnz);
+    out.min_nnz = out.min_nnz == 0 ? nnz : std::min(out.min_nnz, nnz);
+  }
+  for (const real_t v : r.values()) {
+    out.rating_absmax = std::max(out.rating_absmax,
+                                 std::abs(static_cast<double>(v)));
+  }
+  const auto n = static_cast<double>(out.max_nnz);
+  out.a_offdiag_abs = n * theta_absmax * theta_absmax;
+  out.a_diag_max = out.a_offdiag_abs + lambda * n;
+  out.a_diag_min = lambda * static_cast<double>(out.min_nnz);
+  out.b_abs = n * out.rating_absmax * theta_absmax;
+  return out;
 }
 
 }  // namespace cumf

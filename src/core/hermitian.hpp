@@ -60,4 +60,25 @@ void get_hermitian_row_reference(const CsrMatrix& r, const Matrix& theta,
                                  std::span<real_t> a_out,
                                  std::span<real_t> b_out);
 
+/// Static value-range envelope of the get_hermitian outputs over every row
+/// of `r`, assuming factor magnitudes up to `theta_absmax`:
+///     |A_ij| ≤ n_u·θmax²  (i≠j),   A_ii ≤ n_u·θmax² + λ·n_u,
+///     A_ii ≥ λ·n_u,                |b_i| ≤ n_u·|r|max·θmax.
+/// The analysis layer's FP16 range pass (analysis/cuverify/fp16range.hpp)
+/// propagates these through the CG dataflow to predict whether the CG-FP16
+/// solver's A pack can overflow for a dataset — before any epoch runs.
+struct HermitianValueBounds {
+  std::uint64_t max_nnz = 0;   ///< densest row's non-zero count
+  std::uint64_t min_nnz = 0;   ///< sparsest *non-empty* row (0: all empty)
+  double rating_absmax = 0.0;  ///< max |r_uv| over the matrix
+  double a_offdiag_abs = 0.0;  ///< ≥ max |A_ij|, i ≠ j
+  double a_diag_max = 0.0;     ///< ≥ max A_ii (including the λ·n_u ridge)
+  double a_diag_min = 0.0;     ///< ≤ min A_ii of a non-empty row (λ floor)
+  double b_abs = 0.0;          ///< ≥ max |b_i|
+};
+
+HermitianValueBounds hermitian_value_bounds(const CsrMatrix& r,
+                                            double theta_absmax,
+                                            double lambda);
+
 }  // namespace cumf

@@ -1,5 +1,6 @@
 #include "cusim/cusim.hpp"
 
+#include <atomic>
 #include <sstream>
 
 #include "prof/prof.hpp"
@@ -81,7 +82,16 @@ void run_block(const LaunchConfig& config, const Kernel& kernel,
 
 }  // namespace
 
+namespace {
+std::atomic<std::uint64_t> g_launch_count{0};
+}  // namespace
+
+std::uint64_t launch_count() noexcept {
+  return g_launch_count.load(std::memory_order_relaxed);
+}
+
 void launch(const LaunchConfig& config, const Kernel& kernel) {
+  g_launch_count.fetch_add(1, std::memory_order_relaxed);
   CUMF_PROF_SCOPE(config.name != nullptr ? config.name : "cusim_kernel",
                   "cusim");
   CUMF_EXPECTS(config.grid.count() > 0, "empty grid");

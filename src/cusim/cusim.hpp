@@ -208,4 +208,9 @@ struct LaunchConfig {
 /// mismatched __syncthreads(), and propagates kernel exceptions.
 void launch(const LaunchConfig& config, const Kernel& kernel);
 
+/// Process-wide count of launch() invocations. The static-analysis layer
+/// (analysis/cuverify) promises zero kernel execution; its tests snapshot
+/// this counter around a full audit and assert it never moved.
+std::uint64_t launch_count() noexcept;
+
 }  // namespace cumf::cusim

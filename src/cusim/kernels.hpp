@@ -9,8 +9,10 @@
 // as the training path.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "analysis/cuverify/plan.hpp"
 #include "cusim/cusim.hpp"
 #include "linalg/dense.hpp"
 #include "sparse/csr.hpp"
@@ -41,5 +43,34 @@ void cg_kernel_launch(std::size_t batch, std::size_t f,
                       std::span<const real_t> a, std::span<const real_t> b,
                       std::span<real_t> x, std::uint32_t fs, real_t eps,
                       AccessObserver* check = nullptr);
+
+/// Inputs for the hermitian kernel's symbolic access plan. The plan models
+/// the launch for a *representative* row — normally the worst-case (max-nnz)
+/// row of the dataset, whose column ids drive the exact θ gather — while the
+/// grid covers all `rows` blocks (global A/b indices stay affine in the
+/// block id, so bounds close over every block without enumeration).
+struct HermitianPlanParams {
+  unsigned rows = 1;            ///< grid extent (rating rows / blocks)
+  std::size_t theta_rows = 0;   ///< θ row count (gather targets live in it)
+  std::size_t f = 0;
+  int tile = 1;
+  int bin = 1;
+  std::vector<index_t> cols;    ///< representative row's CSR column ids
+  int regs_per_thread = 32;     ///< occupancy input (gpusim register model)
+};
+
+/// The declared AccessPlan of hermitian_kernel_launch: same geometry, same
+/// buffers, one plan segment per barrier-delimited phase of the kernel
+/// above. cuverify's static passes consume this — never the kernel itself.
+analysis::cuverify::AccessPlan hermitian_kernel_plan(
+    const HermitianPlanParams& params);
+
+/// The declared AccessPlan of cg_kernel_launch for `fs` iterations (the
+/// static plan models the full iteration budget; the dynamic early exit on
+/// convergence only shrinks the executed suffix, so the plan's access set is
+/// a superset of any run's).
+analysis::cuverify::AccessPlan cg_kernel_plan(std::size_t batch,
+                                              std::size_t f, std::uint32_t fs,
+                                              int regs_per_thread = 32);
 
 }  // namespace cumf::cusim

@@ -50,6 +50,16 @@ struct CgResult {
   bool breakdown = false;
 };
 
+/// Value envelope of one CG matvec intermediate: with |A_ij| ≤ a_abs and
+/// |v_i| ≤ v_abs, every partial sum of (A·v)_i is within f·a_abs·v_abs.
+/// CG arithmetic runs in FP32 regardless of A's storage precision, so this
+/// bound is compared against float range by the static FP16 range pass —
+/// only the A *pack* itself is range-limited to half.
+inline constexpr double cg_matvec_abs_bound(std::size_t f, double a_abs,
+                                            double v_abs) noexcept {
+  return static_cast<double>(f) * a_abs * v_abs;
+}
+
 /// Storage-precision conversion: float passes through, half widens.
 inline float load_as_float(float v) noexcept { return v; }
 inline float load_as_float(half v) noexcept { return static_cast<float>(v); }

@@ -25,6 +25,10 @@
 //   --cucheck      run one compute-sanitizer-style checked iteration
 //                  (racecheck + memcheck + coalescing lint) before training;
 //                  aborts if the training kernels show hazards
+//   --cuverify     static pregate: prove the training kernels' access plans
+//                  (bounds, races, barriers, coalescing/bank shape,
+//                  occupancy) and predict FP16 pack safety for this dataset
+//                  — zero kernel execution; aborts on error findings
 //   --trace F      write a Chrome trace-event JSON of the run to F
 //                  (load it in chrome://tracing or ui.perfetto.dev)
 //   --metrics F    append per-epoch telemetry JSONL to F (RMSE, phase
@@ -65,8 +69,12 @@
 #include <type_traits>
 #include <vector>
 
+#include "analysis/cuverify/fp16range.hpp"
+#include "analysis/cuverify/verify.hpp"
 #include "analysis/faultinject.hpp"
 #include "analysis/precheck.hpp"
+#include "cusim/kernels.hpp"
+#include "gpusim/occupancy.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
@@ -97,7 +105,8 @@ namespace {
                "             [--solver lu|cholesky|cg|cg16|pcg] [--fs N]\n"
                "             [--workers N] [--gpus N] [--link pcie3|nvlink]\n"
                "             [--implicit ALPHA] [--movielens]\n"
-               "             [--test FRAC] [--seed N] [--cucheck]\n"
+               "             [--test FRAC] [--seed N] [--cucheck] "
+               "[--cuverify]\n"
                "             [--trace FILE] [--metrics FILE] "
                "[--prof-summary]\n"
                "             [--checkpoint DIR] [--checkpoint-every N] "
@@ -139,6 +148,10 @@ struct ExplicitConfig {
   std::uint64_t seed = 1;
   int checkpoint_every = 1;
   bool resume = false;
+  /// Static FP16 range verdict for this dataset (cuverify); recorded in the
+  /// --metrics header so post-hoc analysis can compare the prediction
+  /// against the observed per-epoch fp16_fallbacks.
+  bool predicted_fp16_safe = true;
 };
 
 /// The explicit-ALS epoch loop, templated over the engine so AlsEngine and
@@ -262,6 +275,7 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
     header.set("test_nnz", static_cast<std::uint64_t>(split.test.nnz()));
     header.set("f", cfg.f).set("lambda", cfg.lambda);
     header.set("solver", to_string(cfg.solver));
+    header.set("predicted_fp16_safe", cfg.predicted_fp16_safe);
     header.set("fs", static_cast<std::uint64_t>(cfg.fs));
     header.set("workers", cfg.workers).set("epochs", cfg.epochs);
     header.set("seed", cfg.seed);
@@ -479,6 +493,7 @@ int cmd_train(int argc, char** argv) {
   LoaderOptions loader;
   double test_fraction = 0.1;
   bool cucheck = false;
+  bool run_cuverify = false;
   std::uint64_t seed = 1;
   bool seed_given = false;
   std::string trace_path;
@@ -532,6 +547,8 @@ int cmd_train(int argc, char** argv) {
       test_fraction = std::atof(next());
     } else if (arg == "--cucheck") {
       cucheck = true;
+    } else if (arg == "--cuverify") {
+      run_cuverify = true;
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
       seed_given = true;
@@ -647,6 +664,95 @@ int cmd_train(int argc, char** argv) {
     }
   }
 
+  // FP16 range prediction is one cheap pass over the ratings and feeds both
+  // the --cuverify report and the --metrics header's predicted_fp16_safe
+  // bit, so compute it whenever either consumer is active. Both update
+  // directions pack an A (user rows and item rows), so both sides must be
+  // safe.
+  bool predicted_fp16_safe = true;
+  if (run_cuverify || !metrics_path.empty()) {
+    namespace cuv = analysis::cuverify;
+    auto train_sorted = split.train;
+    train_sorted.sort_and_dedup();
+    const auto csr = CsrMatrix::from_coo(train_sorted);
+    const auto csr_t = csr.transposed();
+
+    cuv::Fp16RangeOptions range;
+    range.f = static_cast<std::size_t>(f);
+    range.lambda = lambda;
+    range.cg_fs = fs;
+    const auto user_side = cuv::analyze_fp16_range(csr, range);
+    const auto item_side = cuv::analyze_fp16_range(csr_t, range);
+    predicted_fp16_safe =
+        user_side.predicted_fp16_safe && item_side.predicted_fp16_safe;
+
+    if (run_cuverify) {
+      // Static pregate: prove the access plans of the kernels this run
+      // would launch, with zero execution (launch_count pins the claim).
+      const std::uint64_t launches_before = cusim::launch_count();
+      std::printf("cuverify: static access-plan analysis (no execution)\n");
+      std::vector<analysis::Finding> findings;
+      const int tile =
+          pick_tile(static_cast<std::size_t>(f), AlsKernelConfig{}.tile);
+
+      const auto verify_side = [&](const CsrMatrix& side, const char* name) {
+        if (side.rows() == 0) {
+          return;
+        }
+        index_t densest = 0;
+        for (index_t u = 1; u < side.rows(); ++u) {
+          if (side.row_nnz(u) > side.row_nnz(densest)) {
+            densest = u;
+          }
+        }
+        cusim::HermitianPlanParams params;
+        params.rows = side.rows();
+        params.theta_rows = side.cols();
+        params.f = static_cast<std::size_t>(f);
+        params.tile = tile;
+        params.bin = 32;
+        const auto row = side.row_cols(densest);
+        params.cols.assign(row.begin(), row.end());
+        params.regs_per_thread = gpusim::hermitian_regs_per_thread(f, tile);
+        auto plan = cusim::hermitian_kernel_plan(params);
+        plan.kernel += std::string("[") + name + "]";
+        const auto report = cuv::verify(plan);
+        std::printf("%s", report.summary().c_str());
+        findings.insert(findings.end(), report.findings.begin(),
+                        report.findings.end());
+      };
+      verify_side(csr, "update-X");
+      verify_side(csr_t, "update-Theta");
+
+      const auto batch =
+          std::min<std::size_t>(std::max<index_t>(csr.rows(), 1), 64);
+      const auto cg_report = cuv::verify(
+          cusim::cg_kernel_plan(batch, static_cast<std::size_t>(f), fs));
+      std::printf("%s", cg_report.summary().c_str());
+      findings.insert(findings.end(), cg_report.findings.begin(),
+                      cg_report.findings.end());
+
+      const bool cg16 = solver == SolverKind::CgFp16;
+      for (const auto* side : {&user_side, &item_side}) {
+        const auto fp16 = cuv::fp16_findings(
+            *side, cg16, side == &user_side ? "update-X" : "update-Theta");
+        std::printf("%s", analysis::render(fp16).c_str());
+        findings.insert(findings.end(), fp16.begin(), fp16.end());
+      }
+
+      const std::uint64_t launches_after = cusim::launch_count();
+      if (analysis::exit_code(findings) != 0) {
+        std::fprintf(stderr,
+                     "cuverify: error findings in the training kernels' "
+                     "access plans; refusing to train\n");
+        return 1;
+      }
+      std::printf("cuverify: PASS (%llu kernels executed)\n",
+                  static_cast<unsigned long long>(launches_after -
+                                                  launches_before));
+    }
+  }
+
   FactorModel model;
   SolveStats final_stats;  // explicit path only; drives --prof-summary
   Stopwatch sw;
@@ -696,6 +802,7 @@ int cmd_train(int argc, char** argv) {
     cfg.seed = seed;
     cfg.checkpoint_every = checkpoint_every;
     cfg.resume = resume;
+    cfg.predicted_fp16_safe = predicted_fp16_safe;
 
     int rc = 0;
     if (gpus >= 1) {
