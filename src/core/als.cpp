@@ -22,35 +22,6 @@ int pick_tile(std::size_t f, int requested) {
   return 1;
 }
 
-std::vector<std::size_t> nnz_balanced_bounds(const CsrMatrix& r,
-                                             std::size_t chunks) {
-  CUMF_EXPECTS(chunks >= 1, "need at least one chunk");
-  const auto m = static_cast<std::size_t>(r.rows());
-  const std::vector<nnz_t>& ptr = r.row_ptr();
-  std::vector<std::size_t> bounds;
-  bounds.reserve(chunks + 1);
-  bounds.push_back(0);
-  if (m == 0) {
-    bounds.push_back(0);
-    return bounds;
-  }
-  const nnz_t total = ptr[m];
-  for (std::size_t c = 1; c < chunks; ++c) {
-    // End chunk c at the first row boundary whose cumulative nnz reaches an
-    // equal share of the total. A row heavier than the share swallows the
-    // next cut point(s), yielding fewer, still-balanced chunks.
-    const nnz_t target = total * c / chunks;
-    const auto it = std::lower_bound(ptr.begin(), ptr.end(), target);
-    const auto row = static_cast<std::size_t>(it - ptr.begin());
-    if (row <= bounds.back() || row >= m) {
-      continue;
-    }
-    bounds.push_back(row);
-  }
-  bounds.push_back(m);
-  return bounds;
-}
-
 /// Initializes factors so that x·θ starts near the global rating mean:
 /// entries are sqrt(mean/f) with ±10% noise (the standard ALS warm start;
 /// a zero init would make the first update-X see Θ = 0 and stall).
@@ -101,7 +72,7 @@ AlsEngine::AlsEngine(const RatingsCoo& train, const AlsOptions& options)
 void als_update_rows(const AlsOptions& options, const CsrMatrix& ratings,
                      const Matrix& fixed, Matrix& solved, index_t begin,
                      index_t end, std::uint32_t fault_site,
-                     AlsWorkerContext& ctx) {
+                     AlsWorkerContext& ctx, index_t row_offset) {
   const std::size_t f = options.f;
   // One flag check per chunk: when the cuprof tracer is off the loop runs
   // the plain hot path with no clock reads (and with CUMF_PROF=OFF this
@@ -127,12 +98,15 @@ void als_update_rows(const AlsOptions& options, const CsrMatrix& ratings,
       prof::Tracer::instance().complete_span("get_hermitian", "als", t0, t1);
       ctx.herm_ns += t1 - t0;
     }
+    // Global row id: fault decisions and the factor write must be keyed the
+    // same way whether this range is a whole matrix or one streamed tile.
+    const index_t g = u + row_offset;
     if (analysis::FaultInjector::enabled()) {
       // Deterministic corruption of the assembled system (NaN/inf/indefinite
       // diag/FP16-range blowup) so the solver's degradation ladder gets
       // exercised; the site id keeps the two half-sweeps independent.
       analysis::FaultInjector::instance().corrupt_system(
-          fault_site, u, ctx.a_scratch, ctx.b_scratch);
+          fault_site, g, ctx.a_scratch, ctx.b_scratch);
     }
     // Traffic per rating: one θ row (FP32 even when staging rounds to FP16
     // in "shared memory" — the global read is full precision), the rating
@@ -145,7 +119,7 @@ void als_update_rows(const AlsOptions& options, const CsrMatrix& ratings,
     ctx.herm_ops.bytes_written += (static_cast<double>(f) * f + f) * kReal;
 
     const bool ok =
-        ctx.solver.solve(ctx.a_scratch, ctx.b_scratch, solved.row(u));
+        ctx.solver.solve(ctx.a_scratch, ctx.b_scratch, solved.row(g));
     if (!ok) {
       // Even the exact fallback could not produce a finite solution (a
       // corrupted or singular system — impossible for healthy data with

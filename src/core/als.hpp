@@ -20,6 +20,7 @@
 #include "metrics/roofline.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/partition.hpp"  // nnz_balanced_bounds (worker schedules)
 
 namespace cumf {
 
@@ -90,11 +91,14 @@ struct AlsPhaseSeconds {
 /// injector corrupts the same systems under any engine, schedule, worker
 /// count, or device count. Rows never read other rows of `solved`, so any
 /// disjoint partition of calls is race-free and produces bit-identical
-/// factors.
+/// factors. `row_offset` maps local row u of `ratings` to global row
+/// u + row_offset of `solved` — the out-of-core engine passes each tile's
+/// first global row here, so fault decisions and factor writes land on the
+/// same global ids as an in-core sweep.
 void als_update_rows(const AlsOptions& options, const CsrMatrix& ratings,
                      const Matrix& fixed, Matrix& solved, index_t begin,
                      index_t end, std::uint32_t fault_site,
-                     AlsWorkerContext& ctx);
+                     AlsWorkerContext& ctx, index_t row_offset = 0);
 
 class AlsEngine {
  public:
@@ -176,15 +180,6 @@ class AlsEngine {
 /// Largest tile size ≤ `requested` that divides f (so any f works with the
 /// paper's default tile of 10).
 int pick_tile(std::size_t f, int requested);
-
-/// Chunk boundaries over the rows of `r` such that each chunk holds roughly
-/// equal total nnz (cut points from the row_ptr prefix sums). Returns an
-/// ascending list starting at 0 and ending at r.rows(), with at most
-/// `chunks` chunks — fewer when single heavy rows exceed the equal share,
-/// each of which then forms its own chunk. Feed to
-/// ThreadPool::parallel_for_chunks.
-std::vector<std::size_t> nnz_balanced_bounds(const CsrMatrix& r,
-                                             std::size_t chunks);
 
 /// Shared warm start: entries near sqrt(mean/f) so x·θ begins at the global
 /// rating mean. Used by both the single- and multi-GPU engines.

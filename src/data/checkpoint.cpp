@@ -314,8 +314,17 @@ void prune_checkpoints(const std::string& dir, int keep) {
   std::vector<fs::path> found;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     const std::string name = entry.path().filename().string();
-    if (name.rfind("ckpt-", 0) == 0 && name.size() >= 10 &&
-        name.substr(name.size() - 4) == ".bin") {
+    if (name.rfind("ckpt-", 0) != 0) {
+      continue;
+    }
+    // An atomic write that crashed between create and rename leaves a
+    // "ckpt-*.bin.tmp.<pid>" orphan behind; it is never a valid resume
+    // target (latest_checkpoint skips it), so pruning collects it too.
+    if (name.find(".bin.tmp.") != std::string::npos) {
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    if (name.size() >= 10 && name.substr(name.size() - 4) == ".bin") {
       found.push_back(entry.path());
     }
   }

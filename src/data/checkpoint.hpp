@@ -105,7 +105,8 @@ std::string checkpoint_path(const std::string& dir, int epoch);
 std::optional<std::string> latest_checkpoint(const std::string& dir);
 
 /// Deletes all but the `keep` highest-epoch checkpoints in `dir`, bounding
-/// disk use for long runs. keep >= 1.
+/// disk use for long runs. keep >= 1. Also collects "ckpt-*.bin.tmp.*"
+/// orphans left by atomic writes that crashed before their rename.
 void prune_checkpoints(const std::string& dir, int keep);
 
 }  // namespace cumf

@@ -1,9 +1,14 @@
 #include "data/loaders.hpp"
 
 #include <algorithm>
-#include <charconv>
-#include <fstream>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <memory>
 #include <sstream>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/check.hpp"
@@ -12,94 +17,182 @@ namespace cumf {
 
 namespace {
 
-/// Splits a MovieLens "a::b::c::d" line into fields (also tolerates a
-/// single ':' which some re-exports use).
-std::vector<std::string> split_movielens(const std::string& line) {
-  std::vector<std::string> fields;
-  std::size_t pos = 0;
-  while (pos <= line.size()) {
-    const std::size_t next = line.find("::", pos);
-    if (next == std::string::npos) {
-      fields.push_back(line.substr(pos));
-      break;
-    }
-    fields.push_back(line.substr(pos, next - pos));
-    pos = next + 2;
-  }
-  return fields;
-}
-
-[[noreturn]] void malformed(std::size_t line_no, const std::string& line) {
+[[noreturn]] void malformed(std::size_t line_no, std::string_view line) {
   std::ostringstream os;
   os << "malformed rating on line " << line_no << ": '" << line << '\'';
   throw CheckError(os.str());
 }
 
-}  // namespace
+/// Shared per-line parser behind both entry points. Lines arrive as
+/// null-terminated in-place slices of the read buffer (the block reader
+/// terminates them where the newline was), so the hot path never copies a
+/// line or constructs a stream.
+class RatingsParser {
+ public:
+  explicit RatingsParser(const LoaderOptions& options) : options_(options) {}
 
-RatingsCoo load_ratings(std::istream& is, const LoaderOptions& options) {
-  std::vector<Rating> entries;
-  index_t max_u = 0;
-  index_t max_v = 0;
-  std::string line;
-  std::size_t line_no = 0;
+  void reserve(std::size_t n) { entries_.reserve(n); }
 
-  while (std::getline(is, line)) {
-    ++line_no;
+  /// `line` must be null-terminated at `len`; the terminator slot is also
+  /// used to trim a trailing CR in place.
+  void consume_line(char* line, std::size_t len) {
+    ++line_no_;
     // Trim trailing CR (files produced on Windows) and skip blanks/comments.
-    if (!line.empty() && line.back() == '\r') {
-      line.pop_back();
+    if (len > 0 && line[len - 1] == '\r') {
+      line[--len] = '\0';
     }
-    const std::size_t first =
-        line.find_first_not_of(" \t");
-    if (first == std::string::npos || line[first] == '#') {
-      continue;
+    std::size_t first = 0;
+    while (first < len && (line[first] == ' ' || line[first] == '\t')) {
+      ++first;
+    }
+    if (first == len || line[first] == '#') {
+      return;
     }
 
     long long u = 0;
     long long v = 0;
     double r = 0;
-    if (options.format == RatingsFormat::Triplets) {
-      std::istringstream fields(line);
-      if (!(fields >> u >> v >> r)) {
-        malformed(line_no, line);
+    if (options_.format == RatingsFormat::Triplets) {
+      char* p = line + first;
+      char* q = nullptr;
+      u = std::strtoll(p, &q, 10);
+      if (q == p) {
+        malformed(line_no_, {line, len});
+      }
+      p = q;
+      v = std::strtoll(p, &q, 10);
+      if (q == p) {
+        malformed(line_no_, {line, len});
+      }
+      p = q;
+      r = std::strtod(p, &q);
+      if (q == p) {
+        malformed(line_no_, {line, len});
       }
     } else {
-      const auto fields = split_movielens(line);
-      if (fields.size() < 3) {
-        malformed(line_no, line);
+      // MovieLens "a::b::c::d": split on the literal "::" delimiter.
+      const char* fields[3] = {nullptr, nullptr, nullptr};
+      const char* p = line;
+      std::size_t n = 0;
+      while (n < 3) {
+        fields[n++] = p;
+        const char* next = std::strstr(p, "::");
+        if (next == nullptr) {
+          break;
+        }
+        p = next + 2;
       }
-      try {
-        u = std::stoll(fields[0]);
-        v = std::stoll(fields[1]);
-        r = std::stod(fields[2]);
-      } catch (const std::exception&) {
-        malformed(line_no, line);
+      if (n < 3) {
+        malformed(line_no_, {line, len});
+      }
+      char* q = nullptr;
+      u = std::strtoll(fields[0], &q, 10);
+      if (q == fields[0]) {
+        malformed(line_no_, {line, len});
+      }
+      v = std::strtoll(fields[1], &q, 10);
+      if (q == fields[1]) {
+        malformed(line_no_, {line, len});
+      }
+      r = std::strtod(fields[2], &q);
+      if (q == fields[2]) {
+        malformed(line_no_, {line, len});
       }
     }
 
-    if (options.one_based) {
+    if (options_.one_based) {
       --u;
       --v;
     }
     if (u < 0 || v < 0) {
-      malformed(line_no, line);
+      malformed(line_no_, {line, len});
     }
     const auto uu = static_cast<index_t>(u);
     const auto vv = static_cast<index_t>(v);
-    max_u = std::max(max_u, uu);
-    max_v = std::max(max_v, vv);
-    entries.push_back(Rating{uu, vv, static_cast<real_t>(r)});
+    max_u_ = std::max(max_u_, uu);
+    max_v_ = std::max(max_v_, vv);
+    entries_.push_back(Rating{uu, vv, static_cast<real_t>(r)});
   }
-  CUMF_EXPECTS(!entries.empty(), "no ratings found in input");
-  return RatingsCoo(max_u + 1, max_v + 1, std::move(entries));
+
+  RatingsCoo finish() {
+    CUMF_EXPECTS(!entries_.empty(), "no ratings found in input");
+    return RatingsCoo(max_u_ + 1, max_v_ + 1, std::move(entries_));
+  }
+
+ private:
+  LoaderOptions options_;
+  std::vector<Rating> entries_;
+  index_t max_u_ = 0;
+  index_t max_v_ = 0;
+  std::size_t line_no_ = 0;
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept { std::fclose(f); }
+};
+
+}  // namespace
+
+RatingsCoo load_ratings(std::istream& is, const LoaderOptions& options) {
+  RatingsParser parser(options);
+  std::string line;
+  while (std::getline(is, line)) {
+    parser.consume_line(line.data(), line.size());
+  }
+  return parser.finish();
 }
 
 RatingsCoo load_ratings_file(const std::string& path,
                              const LoaderOptions& options) {
-  std::ifstream is(path);
-  CUMF_EXPECTS(is.good(), "cannot open ratings file: " + path);
-  return load_ratings(is, options);
+  std::unique_ptr<std::FILE, FileCloser> file(
+      std::fopen(path.c_str(), "rb"));
+  CUMF_EXPECTS(file != nullptr, "cannot open ratings file: " + path);
+
+  // Block reads instead of per-record stream extraction: pull 1 MiB chunks,
+  // terminate each line in place where its newline was, and hand the slice
+  // to the parser. Only a line that straddles a chunk boundary is copied
+  // (into `carry`).
+  constexpr std::size_t kChunk = std::size_t{1} << 20;
+  std::vector<char> buf(kChunk + 1);  // +1: terminator slot for a final line
+  std::string carry;
+  RatingsParser parser(options);
+
+  for (;;) {
+    const std::size_t got = std::fread(buf.data(), 1, kChunk, file.get());
+    if (got == 0) {
+      break;
+    }
+    char* p = buf.data();
+    char* const end = p + got;
+    if (!carry.empty()) {
+      char* nl = static_cast<char*>(std::memchr(p, '\n', got));
+      if (nl == nullptr) {
+        carry.append(p, end);
+        continue;
+      }
+      carry.append(p, nl);
+      parser.consume_line(carry.data(), carry.size());
+      carry.clear();
+      p = nl + 1;
+    }
+    while (p < end) {
+      char* nl = static_cast<char*>(std::memchr(
+          p, '\n', static_cast<std::size_t>(end - p)));
+      if (nl == nullptr) {
+        carry.assign(p, end);
+        break;
+      }
+      *nl = '\0';
+      parser.consume_line(p, static_cast<std::size_t>(nl - p));
+      p = nl + 1;
+    }
+  }
+  CUMF_EXPECTS(std::ferror(file.get()) == 0,
+               "read error on ratings file: " + path);
+  if (!carry.empty()) {  // final line without a trailing newline
+    parser.consume_line(carry.data(), carry.size());
+  }
+  return parser.finish();
 }
 
 }  // namespace cumf

@@ -10,6 +10,13 @@ LinkSpec LinkSpec::pcie3() {
   return LinkSpec{"PCIe 3.0 x16", 12.0e9, 10e-6};
 }
 
+LinkSpec LinkSpec::pcie3_x8() {
+  // Half-lane PCIe: what each card actually gets in multi-GPU boxes that
+  // split a x16 root port, and the transfer-bound corner of the out-of-core
+  // stream model.
+  return LinkSpec{"PCIe 3.0 x8", 6.0e9, 10e-6};
+}
+
 LinkSpec LinkSpec::nvlink() {
   // 40 GB/s per link, 4 links per GPU (paper §I); a ring all-gather uses
   // one link per neighbour, so the per-direction budget is one link.
@@ -20,7 +27,11 @@ LinkSpec link_by_name(const std::string& name) {
   if (name == "pcie3") {
     return LinkSpec::pcie3();
   }
-  CUMF_EXPECTS(name == "nvlink", "unknown link (expected pcie3 or nvlink)");
+  if (name == "pcie3_x8") {
+    return LinkSpec::pcie3_x8();
+  }
+  CUMF_EXPECTS(name == "nvlink",
+               "unknown link (expected pcie3, pcie3_x8 or nvlink)");
   return LinkSpec::nvlink();
 }
 
@@ -54,6 +65,27 @@ double allgather_seconds_ragged(const LinkSpec& link,
   // step completes when the largest partition lands.
   const auto steps = static_cast<double>(bytes_per_device.size() - 1);
   return steps * transfer_seconds(link, max_bytes);
+}
+
+double pipelined_stream_seconds(std::span<const double> transfer_s,
+                                std::span<const double> compute_s) {
+  CUMF_EXPECTS(transfer_s.size() == compute_s.size(),
+               "pipelined stream needs one transfer per compute");
+  if (transfer_s.empty()) {
+    return 0.0;
+  }
+  for (std::size_t i = 0; i < transfer_s.size(); ++i) {
+    CUMF_EXPECTS(transfer_s[i] >= 0 && compute_s[i] >= 0,
+                 "stage times must be non-negative");
+  }
+  // Double buffering: tile i+1 transfers while tile i computes, so each
+  // inner step costs whichever of the pair is slower. Only the first
+  // transfer and the last compute are fully exposed.
+  double wall = transfer_s.front();
+  for (std::size_t i = 0; i + 1 < transfer_s.size(); ++i) {
+    wall += std::max(compute_s[i], transfer_s[i + 1]);
+  }
+  return wall + compute_s.back();
 }
 
 }  // namespace cumf::gpusim

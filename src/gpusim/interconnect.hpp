@@ -18,6 +18,8 @@ struct LinkSpec {
 
   /// PCIe 3.0 x16: ~12 GB/s effective.
   static LinkSpec pcie3();
+  /// PCIe 3.0 x8 (~6 GB/s): a x16 root port split across two cards.
+  static LinkSpec pcie3_x8();
   /// NVLink (paper §I): 40 GB/s per link, 4 links per GPU.
   static LinkSpec nvlink();
 };
@@ -41,5 +43,16 @@ double allgather_seconds(const LinkSpec& link, int gpus,
 /// an empty or single-entry span costs nothing.
 double allgather_seconds_ragged(const LinkSpec& link,
                                 std::span<const double> bytes_per_device);
+
+/// Wall time of a double-buffered transfer/compute pipeline over a tile
+/// stream: while tile i computes, tile i+1 transfers. The schedule is
+///   wall = t₀ + Σ_{i<T-1} max(c_i, t_{i+1}) + c_{T-1},
+/// i.e. only the first transfer and whatever each later transfer fails to
+/// hide under the preceding compute are exposed. Both spans must have equal
+/// length (one entry per tile, in stream order); the serial ablation is
+/// simply Σ (t_i + c_i). This is the bound the out-of-core ALS engine and
+/// the multi-GPU comm overlap both charge against.
+double pipelined_stream_seconds(std::span<const double> transfer_s,
+                                std::span<const double> compute_s);
 
 }  // namespace cumf::gpusim

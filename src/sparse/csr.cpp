@@ -47,6 +47,32 @@ CsrMatrix CsrMatrix::from_coo(const RatingsCoo& coo) {
   return csr;
 }
 
+CsrMatrix CsrMatrix::from_parts(index_t rows, index_t cols,
+                                std::vector<nnz_t> row_ptr,
+                                std::vector<index_t> col_idx,
+                                std::vector<real_t> values) {
+  CUMF_EXPECTS(row_ptr.size() == static_cast<std::size_t>(rows) + 1,
+               "from_parts: row_ptr must have rows+1 entries");
+  CUMF_EXPECTS(row_ptr.front() == 0 && row_ptr.back() == col_idx.size(),
+               "from_parts: row_ptr must span [0, nnz]");
+  CUMF_EXPECTS(col_idx.size() == values.size(),
+               "from_parts: col_idx/values length mismatch");
+  for (index_t u = 0; u < rows; ++u) {
+    CUMF_EXPECTS(row_ptr[u] <= row_ptr[u + 1],
+                 "from_parts: row_ptr must be non-decreasing");
+  }
+  for (const index_t v : col_idx) {
+    CUMF_EXPECTS(v < cols, "from_parts: column index out of range");
+  }
+  CsrMatrix csr;
+  csr.m_ = rows;
+  csr.n_ = cols;
+  csr.row_ptr_ = std::move(row_ptr);
+  csr.col_idx_ = std::move(col_idx);
+  csr.values_ = std::move(values);
+  return csr;
+}
+
 std::span<const index_t> CsrMatrix::row_cols(index_t u) const {
   CUMF_EXPECTS(u < m_, "row out of bounds");
   return {col_idx_.data() + row_ptr_[u], row_ptr_[u + 1] - row_ptr_[u]};

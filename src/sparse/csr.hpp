@@ -21,6 +21,16 @@ class CsrMatrix {
   /// must already have been merged (use RatingsCoo::sort_and_dedup).
   static CsrMatrix from_coo(const RatingsCoo& coo);
 
+  /// Adopts pre-built CSR arrays (the out-of-core tile reader decodes
+  /// straight into these). Validates the structural invariants — row_ptr
+  /// has rows+1 monotone entries ending at col_idx.size(), columns are in
+  /// range — and throws CheckError otherwise; per-row column order is the
+  /// caller's contract (tiles store rows already column-sorted).
+  static CsrMatrix from_parts(index_t rows, index_t cols,
+                              std::vector<nnz_t> row_ptr,
+                              std::vector<index_t> col_idx,
+                              std::vector<real_t> values);
+
   index_t rows() const noexcept { return m_; }
   index_t cols() const noexcept { return n_; }
   nnz_t nnz() const noexcept { return values_.size(); }

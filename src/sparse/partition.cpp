@@ -1,8 +1,39 @@
 #include "sparse/partition.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace cumf {
+
+std::vector<std::size_t> nnz_balanced_bounds(const CsrMatrix& r,
+                                             std::size_t chunks) {
+  CUMF_EXPECTS(chunks >= 1, "need at least one chunk");
+  const auto m = static_cast<std::size_t>(r.rows());
+  const std::vector<nnz_t>& ptr = r.row_ptr();
+  std::vector<std::size_t> bounds;
+  bounds.reserve(chunks + 1);
+  bounds.push_back(0);
+  if (m == 0) {
+    bounds.push_back(0);
+    return bounds;
+  }
+  const nnz_t total = ptr[m];
+  for (std::size_t c = 1; c < chunks; ++c) {
+    // End chunk c at the first row boundary whose cumulative nnz reaches an
+    // equal share of the total. A row heavier than the share swallows the
+    // next cut point(s), yielding fewer, still-balanced chunks.
+    const nnz_t target = total * c / chunks;
+    const auto it = std::lower_bound(ptr.begin(), ptr.end(), target);
+    const auto row = static_cast<std::size_t>(it - ptr.begin());
+    if (row <= bounds.back() || row >= m) {
+      continue;
+    }
+    bounds.push_back(row);
+  }
+  bounds.push_back(m);
+  return bounds;
+}
 
 namespace {
 /// Maps index x in [0, extent) to its block in a partition of `blocks`

@@ -7,12 +7,23 @@
 // ("diagonals" of the grid, as in DSGD).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "common/types.hpp"
 #include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
 
 namespace cumf {
+
+/// Chunk boundaries over the rows of `r` such that each chunk holds roughly
+/// equal total nnz (cut points from the row_ptr prefix sums). Returns an
+/// ascending list starting at 0 and ending at r.rows(), with at most
+/// `chunks` chunks — fewer when single heavy rows exceed the equal share,
+/// each of which then forms its own chunk. Shared by the ALS worker
+/// schedules, the multi-GPU shard partition, and the out-of-core tile cuts.
+std::vector<std::size_t> nnz_balanced_bounds(const CsrMatrix& r,
+                                             std::size_t chunks);
 
 class BlockGrid {
  public:

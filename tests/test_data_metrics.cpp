@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 
@@ -493,6 +495,57 @@ TEST(Loaders, RejectsMalformedAndEmptyInput) {
   LoaderOptions ml;
   ml.format = RatingsFormat::MovieLens;
   EXPECT_THROW(load_ratings(bad_ml, ml), CheckError);
+}
+
+TEST(Loaders, FileLoaderMatchesStreamLoader) {
+  // The file path reads in 1 MiB blocks with in-place line slicing; it must
+  // agree entry-for-entry with the istream path on a file big enough to
+  // straddle several block boundaries, with CRLF endings, comments, and no
+  // trailing newline on the last line.
+  std::ostringstream content;
+  content << "# header comment\r\n";
+  for (int i = 0; i < 130000; ++i) {
+    content << (i % 311) << ' ' << (i % 97) << ' ' << (1.0 + i % 9 * 0.5)
+            << (i % 7 == 0 ? "\r\n" : "\n");
+  }
+  content << "5 5 2.5";  // no trailing newline
+  const std::string text = content.str();
+  ASSERT_GT(text.size(), std::size_t{1} << 20);
+
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "loader_blocks.txt")
+          .string();
+  std::ofstream(path, std::ios::binary) << text;
+
+  std::istringstream ss(text);
+  const RatingsCoo from_stream = load_ratings(ss, LoaderOptions{});
+  const RatingsCoo from_file = load_ratings_file(path, LoaderOptions{});
+  EXPECT_EQ(from_file.rows(), from_stream.rows());
+  EXPECT_EQ(from_file.cols(), from_stream.cols());
+  ASSERT_EQ(from_file.nnz(), from_stream.nnz());
+  for (std::size_t i = 0; i < from_file.entries().size(); ++i) {
+    ASSERT_EQ(from_file.entries()[i].u, from_stream.entries()[i].u);
+    ASSERT_EQ(from_file.entries()[i].v, from_stream.entries()[i].v);
+    ASSERT_EQ(from_file.entries()[i].r, from_stream.entries()[i].r);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Loaders, FileLoaderNamesTheMalformedLine) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "loader_bad.txt")
+          .string();
+  std::ofstream(path) << "0 0 4.0\n1 1 3.0\nnot a rating\n";
+  try {
+    load_ratings_file(path, LoaderOptions{});
+    FAIL() << "malformed line must be rejected";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "malformed rating on line 3: 'not a rating'"),
+              std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
 }
 
 TEST(Loaders, RoundTripsThroughOwnWriter) {

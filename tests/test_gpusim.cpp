@@ -323,6 +323,32 @@ TEST(Interconnect, RejectsNegativeBytes) {
   EXPECT_THROW(transfer_seconds(LinkSpec::nvlink(), -1.0), CheckError);
 }
 
+TEST(Interconnect, PipelinedStreamOverlapsTransferWithCompute) {
+  // wall = t0 + Σ max(c_i, t_{i+1}) + c_last. Equal stages of 1s transfer /
+  // 2s compute: 1 + 2 + 2 + 2 = 7 instead of the serial 9.
+  const std::vector<double> t{1.0, 1.0, 1.0};
+  const std::vector<double> c{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(pipelined_stream_seconds(t, c), 7.0);
+
+  // Transfer-bound: compute hides entirely behind the wire.
+  const std::vector<double> t2{4.0, 4.0};
+  const std::vector<double> c2{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(pipelined_stream_seconds(t2, c2), 4.0 + 4.0 + 1.0);
+
+  // Single stage cannot overlap anything; empty stream is free.
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(pipelined_stream_seconds(one, one), 6.0);
+  EXPECT_DOUBLE_EQ(pipelined_stream_seconds({}, {}), 0.0);
+}
+
+TEST(Interconnect, PipelinedStreamValidatesInput) {
+  const std::vector<double> two{1.0, 1.0};
+  const std::vector<double> three{1.0, 1.0, 1.0};
+  EXPECT_THROW(pipelined_stream_seconds(two, three), CheckError);
+  const std::vector<double> neg{1.0, -1.0};
+  EXPECT_THROW(pipelined_stream_seconds(two, neg), CheckError);
+}
+
 // ---------- sim clock ----------
 
 TEST(SimClock, AccumulatesPerKernel) {

@@ -258,6 +258,33 @@ TEST(Checkpoint, LatestAndPrune) {
   EXPECT_FALSE(latest_checkpoint(dir).has_value());
 }
 
+TEST(Checkpoint, PruneCollectsTmpOrphans) {
+  // An atomic write that crashes between create and rename strands a
+  // "ckpt-*.bin.tmp.<pid>" file. It is never a resume target, and pruning
+  // must collect it regardless of the keep window.
+  const std::string dir = temp_path("cumf_ckpt_orphans");
+  std::filesystem::create_directories(dir);
+  TrainCheckpoint ckpt = sample_checkpoint();
+  for (const int epoch : {1, 2}) {
+    ckpt.epoch = static_cast<std::uint32_t>(epoch);
+    write_checkpoint_file(checkpoint_path(dir, epoch), ckpt);
+  }
+  const std::string orphan = atomic_temp_path(checkpoint_path(dir, 3));
+  std::ofstream(orphan, std::ios::binary) << "half-written";
+  ASSERT_TRUE(std::filesystem::exists(orphan));
+
+  prune_checkpoints(dir, 2);
+  EXPECT_FALSE(std::filesystem::exists(orphan));
+  EXPECT_TRUE(std::filesystem::exists(checkpoint_path(dir, 1)));
+  EXPECT_TRUE(std::filesystem::exists(checkpoint_path(dir, 2)));
+  // The orphan must not count against the keep window, and a resume still
+  // lands on the newest complete checkpoint.
+  const auto latest = latest_checkpoint(dir);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(*latest, checkpoint_path(dir, 2));
+  std::filesystem::remove_all(dir);
+}
+
 // ---------- model / ratings I/O hardening ----------
 
 TEST(ModelIo, WriteMatrixRestoresStreamPrecision) {

@@ -16,8 +16,22 @@
 //                  device; factors are bit-identical to the single-engine
 //                  run. Adds the modeled multi-device timeline (compute,
 //                  all-gather, scaling efficiency) to --metrics records.
-//   --link L       interconnect for the multi-GPU model: pcie3 | nvlink
-//                  (default nvlink)
+//   --link L       interconnect for the multi-GPU / out-of-core transfer
+//                  model: pcie3 | nvlink (default nvlink)
+//   --shards DIR   train out-of-core from a shard store built by
+//                  `cumf_shard build` (also auto-detected when <ratings>
+//                  is a directory containing shard-meta.bin). The ratings
+//                  stream through a bounded tile cache; factors are
+//                  bit-identical to the in-core run of the same seed/split.
+//                  Requires --host-mem; incompatible with --implicit,
+//                  --gpus, --cucheck and --cuverify (those need the full
+//                  matrix in memory).
+//   --host-mem S   hard host budget for cached tiles (e.g. 64M, 2G); must
+//                  admit the largest tile
+//   --device-mem S modeled device memory; overlap needs room to
+//                  double-buffer the two largest tiles (0 = unconstrained)
+//   --no-overlap   disable tile prefetch (the no-overlap ablation the
+//                  bench gate compares against)
 //   --implicit A   treat input as implicit with confidence alpha = A
 //   --movielens    input uses the u::v::r::ts format (1-based ids)
 //   --test FRAC    hold out FRAC for test RMSE reporting (default 0.1)
@@ -81,7 +95,9 @@
 #include "core/als.hpp"
 #include "core/kernel_stats.hpp"
 #include "core/multi_gpu.hpp"
+#include "core/ooc_als.hpp"
 #include "data/checkpoint.hpp"
+#include "data/shards.hpp"
 #include "data/loaders.hpp"
 #include "data/model_io.hpp"
 #include "gpusim/device.hpp"
@@ -104,6 +120,9 @@ namespace {
                "[-t N]\n"
                "             [--solver lu|cholesky|cg|cg16|pcg] [--fs N]\n"
                "             [--workers N] [--gpus N] [--link pcie3|nvlink]\n"
+               "             [--shards DIR] [--host-mem SIZE] "
+               "[--device-mem SIZE]\n"
+               "             [--no-overlap]\n"
                "             [--implicit ALPHA] [--movielens]\n"
                "             [--test FRAC] [--seed N] [--cucheck] "
                "[--cuverify]\n"
@@ -119,6 +138,29 @@ namespace {
                "  cumf_train predict <model> <pairs> \n"
                "  cumf_train recommend <model> <ratings> <user> [-k N]\n");
   std::exit(2);
+}
+
+/// "512M" / "2G" / "65536" → bytes (suffixes are binary: K=2^10 …).
+std::uint64_t parse_mem_size(const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  std::uint64_t scale = 1;
+  if (end != nullptr && *end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': scale = 1ull << 10; break;
+      case 'm': case 'M': scale = 1ull << 20; break;
+      case 'g': case 'G': scale = 1ull << 30; break;
+      default:
+        std::fprintf(stderr, "cumf_train: bad memory size '%s'\n",
+                     text.c_str());
+        std::exit(2);
+    }
+  }
+  if (value < 0 || end == text.c_str()) {
+    std::fprintf(stderr, "cumf_train: bad memory size '%s'\n", text.c_str());
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(value * static_cast<double>(scale));
 }
 
 SolverKind parse_solver(const std::string& name) {
@@ -152,6 +194,17 @@ struct ExplicitConfig {
   /// --metrics header so post-hoc analysis can compare the prediction
   /// against the observed per-epoch fp16_fallbacks.
   bool predicted_fp16_safe = true;
+  /// Training-set nnz for the telemetry header, the checkpoint fingerprint
+  /// and the cache-sim shape. Equal to split.train.nnz() on the in-core
+  /// paths; the out-of-core path keeps split.train as an empty shell (the
+  /// whole point is not materializing it), so the count comes from the
+  /// shard meta instead.
+  std::uint64_t train_nnz = 0;
+  /// Out-of-core streaming (--shards): shard directory + budgets.
+  std::string shard_dir;
+  std::uint64_t host_mem = 0;
+  std::uint64_t device_mem = 0;
+  bool ooc_overlap = true;
 };
 
 /// The explicit-ALS epoch loop, templated over the engine so AlsEngine and
@@ -165,6 +218,7 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
                  const RatingsCoo& ratings, const TrainTestSplit& split,
                  Rng& rng, FactorModel& model, SolveStats& final_stats) {
   constexpr bool kMultiGpu = std::is_same_v<Engine, MultiGpuAls>;
+  constexpr bool kOoc = std::is_same_v<Engine, OocAlsEngine>;
   Stopwatch sw;
 
   // Resume: load and validate the newest checkpoint before training (and
@@ -198,7 +252,7 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
           why = "seed differs";
         } else if (ckpt.rows != ratings.rows() ||
                    ckpt.cols != ratings.cols() ||
-                   ckpt.train_nnz != split.train.nnz()) {
+                   ckpt.train_nnz != cfg.train_nnz) {
           why = "dataset shape differs";
         } else if (!(ckpt.rng == rng.state())) {
           why = "holdout-split RNG state differs";
@@ -244,6 +298,28 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
         scaling.efficiency * 100.0, scaling.comm_fraction * 100.0);
   }
 
+  // Modeled streamed-epoch timeline: per-tile transfers over the chosen
+  // link pipelined against per-tile compute. Like the multi-GPU model this
+  // is epoch-invariant, so evaluate once.
+  [[maybe_unused]] OocTimeline ooc_timeline;
+  if constexpr (kOoc) {
+    const gpusim::LinkSpec link = gpusim::link_by_name(cfg.link_name);
+    AlsKernelConfig kc;
+    kc.f = cfg.f;
+    kc.tile = pick_tile(static_cast<std::size_t>(cfg.f), kc.tile);
+    kc.solver = cfg.solver;
+    kc.cg_fs = cfg.fs;
+    ooc_timeline = engine.epoch_timeline(mgpu_dev, kc, link,
+                                         engine.overlap_active());
+    std::printf(
+        "out-of-core model (%zu+%zu tiles over %s on %s): epoch %.3f s "
+        "(serial %.3f s, overlap gain %.2fx)%s\n",
+        engine.meta().row_tiles.size(), engine.meta().col_tiles.size(),
+        link.name.c_str(), mgpu_dev.name.c_str(), ooc_timeline.pipelined_s,
+        ooc_timeline.serial_s, ooc_timeline.overlap_gain,
+        engine.overlap_active() ? "" : " [overlap disabled]");
+  }
+
   prof::TelemetryWriter telemetry;
   gpusim::TraceStats cache_sim;
   const bool have_test = split.test.nnz() > 0;
@@ -265,13 +341,13 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
     kc.cg_fs = cfg.fs;
     const UpdateShape shape{static_cast<double>(ratings.rows()),
                             static_cast<double>(ratings.cols()),
-                            static_cast<double>(split.train.nnz())};
+                            static_cast<double>(cfg.train_nnz)};
     prof::JsonObject header;
     header.set("type", "header").set("schema", 1);
     header.set("dataset", cfg.ratings_path);
     header.set("rows", static_cast<std::uint64_t>(ratings.rows()));
     header.set("cols", static_cast<std::uint64_t>(ratings.cols()));
-    header.set("train_nnz", static_cast<std::uint64_t>(split.train.nnz()));
+    header.set("train_nnz", cfg.train_nnz);
     header.set("test_nnz", static_cast<std::uint64_t>(split.test.nnz()));
     header.set("f", cfg.f).set("lambda", cfg.lambda);
     header.set("solver", to_string(cfg.solver));
@@ -292,11 +368,23 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
       }
       header.set_array("mgpu_device_compute_s", per_device);
     }
+    if constexpr (kOoc) {
+      header.set("mode", "ooc");
+      header.set("shards", cfg.shard_dir);
+      header.set("link", cfg.link_name);
+      header.set("host_mem_bytes", cfg.host_mem);
+      header.set("device_mem_bytes", cfg.device_mem);
+      header.set("overlap", engine.overlap_active());
+      header.set("row_tiles",
+                 static_cast<std::uint64_t>(engine.meta().row_tiles.size()));
+      header.set("col_tiles",
+                 static_cast<std::uint64_t>(engine.meta().col_tiles.size()));
+    }
     if (resumed) {
       header.set("resumed_from_epoch",
                  static_cast<std::uint64_t>(resumed->epoch));
     }
-    if (split.train.nnz() > 0) {
+    if (cfg.train_nnz > 0) {
       cache_sim = hermitian_load_stats(dev, shape, kc,
                                        /*sample_rows=*/nullptr);
     }
@@ -420,6 +508,29 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
         rec.set_raw("multi_gpu", mg.str());
       }
 
+      if constexpr (kOoc) {
+        // Measured streaming breakdown of this epoch plus the (epoch-
+        // invariant) modeled transfer pipeline. stall_s is the exposed
+        // wait; load_s is total time inside tile loads, which overlaps
+        // compute when prefetch is on.
+        const OocEpochStats& os = engine.ooc_stats_last_epoch();
+        prof::JsonObject ooc;
+        ooc.set("stall_s", os.stall_s);
+        ooc.set("compute_s", os.compute_s);
+        ooc.set("load_s", os.load_s);
+        ooc.set("tiles", os.tiles);
+        ooc.set("cache_hits", os.cache_hits);
+        ooc.set("cache_misses", os.cache_misses);
+        ooc.set("bytes_loaded", os.bytes_loaded);
+        ooc.set("overlap", engine.overlap_active());
+        ooc.set("model_transfer_s", ooc_timeline.transfer_s);
+        ooc.set("model_compute_s", ooc_timeline.compute_s);
+        ooc.set("model_serial_s", ooc_timeline.serial_s);
+        ooc.set("model_pipelined_s", ooc_timeline.pipelined_s);
+        ooc.set("model_overlap_gain", ooc_timeline.overlap_gain);
+        rec.set_raw("ooc", ooc.str());
+      }
+
       telemetry.write(rec);
     }
 
@@ -440,7 +551,7 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
       ckpt.lambda = static_cast<float>(cfg.lambda);
       ckpt.rows = ratings.rows();
       ckpt.cols = ratings.cols();
-      ckpt.train_nnz = static_cast<std::uint64_t>(split.train.nnz());
+      ckpt.train_nnz = cfg.train_nnz;
       write_checkpoint_file(checkpoint_path(cfg.checkpoint_dir, epoch),
                             ckpt);
       prune_checkpoints(cfg.checkpoint_dir, 3);
@@ -502,6 +613,10 @@ int cmd_train(int argc, char** argv) {
   std::string checkpoint_dir;
   int checkpoint_every = 1;
   bool resume = false;
+  std::string shard_dir;
+  std::uint64_t host_mem = 0;
+  std::uint64_t device_mem = 0;
+  bool ooc_overlap = true;
   analysis::FaultPlan fault_plan;
   bool inject = false;
 
@@ -564,6 +679,14 @@ int cmd_train(int argc, char** argv) {
       checkpoint_every = std::atoi(next());
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--shards") {
+      shard_dir = next();
+    } else if (arg == "--host-mem") {
+      host_mem = parse_mem_size(next());
+    } else if (arg == "--device-mem") {
+      device_mem = parse_mem_size(next());
+    } else if (arg == "--no-overlap") {
+      ooc_overlap = false;
     } else if (arg == "--inject-seed") {
       fault_plan.seed = std::strtoull(next(), nullptr, 10);
       inject = true;
@@ -588,6 +711,37 @@ int cmd_train(int argc, char** argv) {
     }
   }
 
+  // A shard store can be named explicitly (--shards) or positionally (the
+  // <ratings> argument is a directory holding shard-meta.bin).
+  if (shard_dir.empty() && is_shard_dir(ratings_path)) {
+    shard_dir = ratings_path;
+  }
+  const bool ooc = !shard_dir.empty();
+  if (ooc) {
+    if (!is_shard_dir(shard_dir)) {
+      std::fprintf(stderr, "cumf_train: '%s' has no %s (run cumf_shard "
+                           "build first)\n",
+                   shard_dir.c_str(), std::string(kShardMetaFile).c_str());
+      return 2;
+    }
+    if (implicit_alpha || gpus > 0 || cucheck || run_cuverify) {
+      std::fprintf(stderr,
+                   "cumf_train: --shards is incompatible with --implicit, "
+                   "--gpus, --cucheck and --cuverify (they need the full "
+                   "matrix in memory)\n");
+      return 2;
+    }
+    if (host_mem == 0) {
+      std::fprintf(stderr,
+                   "cumf_train: out-of-core training requires --host-mem\n");
+      return 2;
+    }
+  } else if (host_mem != 0 || device_mem != 0 || !ooc_overlap) {
+    std::fprintf(stderr,
+                 "cumf_train: --host-mem/--device-mem/--no-overlap only "
+                 "apply to out-of-core training (--shards)\n");
+    return 2;
+  }
   if (resume && checkpoint_dir.empty()) {
     std::fprintf(stderr, "cumf_train: --resume requires --checkpoint DIR\n");
     return 2;
@@ -627,17 +781,59 @@ int cmd_train(int argc, char** argv) {
     prof::Tracer::instance().set_thread_name("main");
   }
 
-  std::printf("loading %s...\n", ratings_path.c_str());
-  const auto ratings = load_ratings_file(ratings_path, loader);
-  std::printf("  %u x %u, %llu ratings\n", ratings.rows(), ratings.cols(),
-              static_cast<unsigned long long>(ratings.nnz()));
+  std::optional<ShardMeta> shard_meta;
+  RatingsCoo ratings;
+  double load_seconds = 0.0;
+  std::uintmax_t load_bytes = 0;
+  if (ooc) {
+    shard_meta = read_shard_meta(shard_dir);
+    // The split is baked into the shard store; training must replay the
+    // init of the seed that built it or the factors silently diverge from
+    // the in-core reference.
+    if (!seed_given) {
+      seed = shard_meta->seed;
+    } else if (seed != shard_meta->seed) {
+      std::fprintf(stderr,
+                   "cumf_train: note: --seed %llu differs from the shard "
+                   "store's build seed %llu; factors will not match an "
+                   "in-core run of either seed\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(shard_meta->seed));
+    }
+    ratings = RatingsCoo(shard_meta->rows, shard_meta->cols);
+    std::printf("shard store %s: %u x %u, %llu train + %llu test nnz, "
+                "%zu+%zu tiles\n",
+                shard_dir.c_str(), shard_meta->rows, shard_meta->cols,
+                static_cast<unsigned long long>(shard_meta->train_nnz),
+                static_cast<unsigned long long>(shard_meta->test_nnz),
+                shard_meta->row_tiles.size(), shard_meta->col_tiles.size());
+  } else {
+    std::printf("loading %s...\n", ratings_path.c_str());
+    Stopwatch load_sw;
+    ratings = load_ratings_file(ratings_path, loader);
+    load_seconds = load_sw.seconds();
+    std::error_code ec;
+    load_bytes = std::filesystem::file_size(ratings_path, ec);
+    if (ec) {
+      load_bytes = 0;
+    }
+    std::printf("  %u x %u, %llu ratings\n", ratings.rows(), ratings.cols(),
+                static_cast<unsigned long long>(ratings.nnz()));
+  }
 
   Rng rng(seed);
-  const auto split = test_fraction > 0
-                         ? split_holdout(ratings, test_fraction, rng)
-                         : TrainTestSplit{ratings, RatingsCoo(
-                                                       ratings.rows(),
-                                                       ratings.cols())};
+  TrainTestSplit split;
+  if (ooc) {
+    // Train stays an empty shell — the tiles stream through the engine's
+    // cache; only the (small) test set is materialized for RMSE points.
+    split.train = RatingsCoo(shard_meta->rows, shard_meta->cols);
+    split.test = read_shard_test(shard_dir);
+  } else if (test_fraction > 0) {
+    split = split_holdout(ratings, test_fraction, rng);
+  } else {
+    split = TrainTestSplit{ratings,
+                           RatingsCoo(ratings.rows(), ratings.cols())};
+  }
 
   if (cucheck) {
     // cucheck_report mode: one checked iteration of the device kernels over
@@ -803,9 +999,28 @@ int cmd_train(int argc, char** argv) {
     cfg.checkpoint_every = checkpoint_every;
     cfg.resume = resume;
     cfg.predicted_fp16_safe = predicted_fp16_safe;
+    cfg.train_nnz = ooc ? shard_meta->train_nnz
+                        : static_cast<std::uint64_t>(split.train.nnz());
+    cfg.shard_dir = shard_dir;
+    cfg.host_mem = host_mem;
+    cfg.device_mem = device_mem;
+    cfg.ooc_overlap = ooc_overlap;
 
     int rc = 0;
-    if (gpus >= 1) {
+    if (ooc) {
+      OocOptions ooc_options;
+      ooc_options.host_mem_bytes = host_mem;
+      ooc_options.device_mem_bytes = device_mem;
+      ooc_options.overlap = ooc_overlap;
+      OocAlsEngine engine(shard_dir, options, ooc_options);
+      if (ooc_overlap && !engine.overlap_active()) {
+        std::fprintf(stderr,
+                     "cumf_train: note: budgets too small to double-buffer "
+                     "tiles; prefetch disabled (synchronous loads)\n");
+      }
+      rc = run_explicit(engine, cfg, ratings, split, rng, model,
+                        final_stats);
+    } else if (gpus >= 1) {
       MultiGpuAls engine(split.train, options, gpus);
       rc = run_explicit(engine, cfg, ratings, split, rng, model,
                         final_stats);
@@ -860,6 +1075,11 @@ int cmd_train(int argc, char** argv) {
                 static_cast<unsigned long long>(final_stats.fp16_fallbacks),
                 static_cast<unsigned long long>(final_stats.failures),
                 static_cast<unsigned long long>(final_stats.systems));
+    if (load_bytes > 0 && load_seconds > 0) {
+      const double mb = static_cast<double>(load_bytes) / 1e6;
+      std::printf("ratings read: %.1f MB in %.3f s (%.1f MB/s)\n", mb,
+                  load_seconds, mb / load_seconds);
+    }
   }
   return 0;
 }
