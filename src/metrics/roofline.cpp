@@ -28,6 +28,10 @@ AlsComplexity als_complexity_cg(double nnz, double m, double n, int f,
   return c;
 }
 
+double fp16_pack_traffic(double elements) {
+  return elements * (4.0 + 2.0);
+}
+
 SgdComplexity sgd_complexity(double nnz, int f) {
   SgdComplexity c;
   const double ff = f;

@@ -49,4 +49,9 @@ struct SgdComplexity {
 
 SgdComplexity sgd_complexity(double nnz, int f);
 
+/// DRAM traffic of packing `elements` FP32 values into FP16 (4 bytes read,
+/// 2 written per element). Anchors the fp16_pack phase of the cuscope
+/// bottleneck records to the same bookkeeping as the Table-I complexities.
+double fp16_pack_traffic(double elements);
+
 }  // namespace cumf

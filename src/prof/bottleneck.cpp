@@ -1,0 +1,86 @@
+#include "prof/bottleneck.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cumf::prof {
+
+const char* to_string(Bound bound) noexcept {
+  switch (bound) {
+    case Bound::compute: return "compute";
+    case Bound::dram: return "dram";
+    case Bound::l2: return "l2";
+    case Bound::latency: return "latency";
+    case Bound::comm: return "comm";
+    case Bound::stall: return "stall";
+  }
+  return "compute";
+}
+
+const char* describe(Bound bound) noexcept {
+  switch (bound) {
+    case Bound::compute: return "compute-bound";
+    case Bound::dram: return "bandwidth-bound (DRAM)";
+    case Bound::l2: return "bandwidth-bound (L2)";
+    case Bound::latency: return "latency-bound";
+    case Bound::comm: return "interconnect-bound";
+    case Bound::stall: return "stall-bound (exposed prefetch wait)";
+  }
+  return "compute-bound";
+}
+
+void add_kernel_time(PhaseSample& sample, const gpusim::KernelTime& t) {
+  sample.wall_s += t.seconds;
+  sample.t_compute += t.t_compute;
+  sample.t_dram += t.t_dram;
+  sample.t_l2 += t.t_l2;
+  sample.t_latency += t.t_latency;
+}
+
+Verdict classify(const PhaseSample& sample) {
+  // Fixed evaluation order doubles as the deterministic tie-break: a later
+  // roof must strictly exceed the current dominant one to take over.
+  const Bound kinds[] = {Bound::compute, Bound::dram,    Bound::l2,
+                         Bound::latency, Bound::comm,    Bound::stall};
+  const double times[] = {sample.t_compute, sample.t_dram, sample.t_l2,
+                          sample.t_latency, sample.t_comm, sample.t_stall};
+
+  Verdict v;
+  v.phase = sample.phase;
+  v.sample = sample;
+  double dominant = times[0];
+  for (int i = 1; i < 6; ++i) {
+    if (times[i] > dominant) {
+      dominant = times[i];
+      v.bound = kinds[i];
+    }
+  }
+  v.wall_s = sample.wall_s > 0 ? sample.wall_s : dominant;
+  if (v.wall_s > 0) {
+    v.pct_of_roof = std::min(1.0, dominant / v.wall_s);
+  }
+  v.headroom = 1.0 - v.pct_of_roof;
+  if (sample.bytes > 0) {
+    v.arithmetic_intensity = sample.flops / sample.bytes;
+  }
+  return v;
+}
+
+std::string render_roofline_table(std::span<const Verdict> verdicts,
+                                  const std::string& device_name) {
+  std::string out =
+      "roofline attribution (modeled on " + device_name + ", last epoch):\n";
+  for (const Verdict& v : verdicts) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  %-14s %6.2f flop/B, %3.0f%% of %s roof "
+                  "(headroom %3.0f%%), %.4g s -> %s\n",
+                  v.phase.c_str(), v.arithmetic_intensity,
+                  v.pct_of_roof * 100.0, to_string(v.bound),
+                  v.headroom * 100.0, v.wall_s, describe(v.bound));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace cumf::prof

@@ -1,0 +1,109 @@
+// cuscope: per-phase roofline bottleneck attribution.
+//
+// The paper's whole argument (Sec. IV, Fig. 4/7) is that ALS on GPUs is
+// memory-bound and wins by reshaping data movement — but raw counters do
+// not say *why* an epoch is slow. This module turns the measurements the
+// system already collects — gpusim KernelTime roof components, measured
+// OpCounts, multi-GPU comm seconds, out-of-core stall seconds — into a
+// verdict per phase: which roof the phase sits under, its arithmetic
+// intensity, how close to that roof it runs, and how much headroom is
+// left. Verdicts are pure arithmetic over the input counters (no clocks,
+// no global state), so identical counters always produce identical
+// verdicts — the property the telemetry schema-2 `bottleneck` records,
+// the --prof-summary roofline table and tools/cumf_report.py all rely on.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+
+namespace cumf::prof {
+
+/// The roof a phase is limited by. The first four mirror the gpusim kernel
+/// cost model (compute / DRAM / L2 / latency); `comm` and `stall` extend
+/// the taxonomy to the engine level, where the limiter can be the
+/// interconnect (multi-GPU all-gather) or an exposed prefetch wait
+/// (out-of-core streaming) rather than anything inside a kernel.
+enum class Bound { compute, dram, l2, latency, comm, stall };
+
+/// Stable lower-case name used in telemetry records ("compute", "dram",
+/// "l2", "latency", "comm", "stall").
+const char* to_string(Bound bound) noexcept;
+
+/// Human phrasing for summaries ("compute-bound", "bandwidth-bound (DRAM)",
+/// ...).
+const char* describe(Bound bound) noexcept;
+
+// Canonical phase names of the schema-2 bottleneck records (and of the
+// --prof-summary roofline table). tools/trace_report.py validates against
+// this set.
+inline constexpr const char* kPhaseHermitian = "get_hermitian";
+inline constexpr const char* kPhaseSolve = "solve";
+inline constexpr const char* kPhaseFp16Pack = "fp16_pack";
+inline constexpr const char* kPhaseMgpuAllGather = "mgpu_allgather";
+inline constexpr const char* kPhaseOocStream = "ooc_stream";
+
+/// Everything the classifier consumes for one phase of one epoch: the
+/// per-roof lower-bound seconds (from the gpusim cost model or from
+/// engine-level measurements) plus the operation counts behind the
+/// arithmetic intensity. All fields are plain accumulators so multiple
+/// kernels (e.g. the two half-sweeps of an epoch) can be summed into one
+/// sample.
+struct PhaseSample {
+  std::string phase;
+  /// Wall seconds of the phase. 0 means "derive from the components":
+  /// the wall defaults to the largest single roof time, exactly how the
+  /// gpusim cost model defines a kernel's seconds.
+  double wall_s = 0;
+  double t_compute = 0;
+  double t_dram = 0;
+  double t_l2 = 0;
+  double t_latency = 0;
+  double t_comm = 0;
+  double t_stall = 0;
+  double flops = 0;
+  double bytes = 0;
+};
+
+/// Accumulates one gpusim kernel cost into a sample: each roof component
+/// and the kernel's own wall seconds are added. Summing the load, compute
+/// and write kernels of both half-sweeps yields the epoch's get_hermitian
+/// sample.
+void add_kernel_time(PhaseSample& sample, const gpusim::KernelTime& t);
+
+/// The classifier's output for one phase.
+struct Verdict {
+  std::string phase;
+  Bound bound = Bound::compute;
+  /// FLOP per byte moved (0 when the phase moved no bytes).
+  double arithmetic_intensity = 0;
+  /// Fraction of the dominant roof actually achieved, in [0, 1]: the
+  /// dominant roof's lower-bound seconds over the wall. 1 means the phase
+  /// runs exactly at its limiting roof; clamped when a measured wall
+  /// undercuts the model.
+  double pct_of_roof = 0;
+  /// 1 − pct_of_roof: the fraction of the wall not explained by the
+  /// dominant roof — time an optimization targeting that roof cannot
+  /// recover.
+  double headroom = 0;
+  double wall_s = 0;
+  /// Echo of the classified sample (the telemetry record carries the
+  /// components so cumf_report.py can attribute cross-run deltas).
+  PhaseSample sample;
+};
+
+/// Classifies one phase. Deterministic: the dominant roof is the largest
+/// component, ties broken by declaration order (compute, dram, l2,
+/// latency, comm, stall), so equal inputs always yield equal verdicts.
+Verdict classify(const PhaseSample& sample);
+
+/// Renders the --prof-summary roofline table, one verdict sentence per
+/// phase:
+///   get_hermitian: 0.41 flop/B, 86% of dram roof (headroom 14%),
+///   0.0123 s -> bandwidth-bound (DRAM)
+std::string render_roofline_table(std::span<const Verdict> verdicts,
+                                  const std::string& device_name);
+
+}  // namespace cumf::prof

@@ -1,0 +1,191 @@
+// cuscope classifier tests: verdicts must be deterministic functions of
+// hand-built synthetic counter sets (the ROADMAP's auto-tuner selects on
+// them, so a flaky or clock-dependent verdict would poison policy).
+#include <gtest/gtest.h>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device.hpp"
+#include "prof/bottleneck.hpp"
+
+namespace cumf::prof {
+namespace {
+
+TEST(Bottleneck, DramBoundSyntheticClassifiesWithinOnePercent) {
+  PhaseSample s;
+  s.phase = kPhaseHermitian;
+  s.wall_s = 1.0;
+  s.t_dram = 0.86;
+  s.t_compute = 0.20;
+  s.t_l2 = 0.10;
+  const Verdict v = classify(s);
+  EXPECT_EQ(v.bound, Bound::dram);
+  EXPECT_NEAR(v.pct_of_roof, 0.86, 0.86 * 0.01);
+  EXPECT_NEAR(v.headroom, 0.14, 1e-12);
+  EXPECT_DOUBLE_EQ(v.wall_s, 1.0);
+}
+
+TEST(Bottleneck, ComputeBoundSyntheticClassifiesWithinOnePercent) {
+  PhaseSample s;
+  s.phase = kPhaseSolve;
+  s.wall_s = 0.5;
+  s.t_compute = 0.45;
+  s.t_dram = 0.10;
+  const Verdict v = classify(s);
+  EXPECT_EQ(v.bound, Bound::compute);
+  EXPECT_NEAR(v.pct_of_roof, 0.90, 0.90 * 0.01);
+}
+
+TEST(Bottleneck, WallDefaultsToDominantComponent) {
+  // wall_s == 0 means "derive from the roofs": the gpusim convention that
+  // a kernel's seconds is the max of its lower bounds.
+  PhaseSample s;
+  s.t_latency = 0.3;
+  s.t_dram = 0.1;
+  const Verdict v = classify(s);
+  EXPECT_EQ(v.bound, Bound::latency);
+  EXPECT_DOUBLE_EQ(v.wall_s, 0.3);
+  EXPECT_DOUBLE_EQ(v.pct_of_roof, 1.0);
+  EXPECT_DOUBLE_EQ(v.headroom, 0.0);
+}
+
+TEST(Bottleneck, TieBreaksByDeclarationOrder) {
+  // Equal components must not flip the verdict between runs: the first
+  // roof in declaration order (compute, dram, l2, latency, comm, stall)
+  // wins a tie.
+  PhaseSample s;
+  s.t_compute = 0.5;
+  s.t_dram = 0.5;
+  EXPECT_EQ(classify(s).bound, Bound::compute);
+  s.t_compute = 0.0;
+  s.t_l2 = 0.5;
+  EXPECT_EQ(classify(s).bound, Bound::dram);
+}
+
+TEST(Bottleneck, CommBoundMultiGpuEpoch) {
+  PhaseSample s;
+  s.phase = kPhaseMgpuAllGather;
+  s.wall_s = 1.0;
+  s.t_compute = 0.3;
+  s.t_comm = 0.65;
+  const Verdict v = classify(s);
+  EXPECT_EQ(v.bound, Bound::comm);
+  EXPECT_NEAR(v.pct_of_roof, 0.65, 1e-12);
+}
+
+TEST(Bottleneck, StallBoundStreamEpoch) {
+  PhaseSample s;
+  s.phase = kPhaseOocStream;
+  s.wall_s = 2.0;
+  s.t_compute = 0.8;
+  s.t_stall = 1.2;
+  const Verdict v = classify(s);
+  EXPECT_EQ(v.bound, Bound::stall);
+  EXPECT_NEAR(v.pct_of_roof, 0.6, 1e-12);
+  EXPECT_NEAR(v.headroom, 0.4, 1e-12);
+}
+
+TEST(Bottleneck, ArithmeticIntensityFromCounters) {
+  PhaseSample s;
+  s.wall_s = 1.0;
+  s.t_dram = 1.0;
+  s.flops = 100.0;
+  s.bytes = 400.0;
+  EXPECT_DOUBLE_EQ(classify(s).arithmetic_intensity, 0.25);
+  s.bytes = 0.0;  // no traffic -> intensity 0, not a division by zero
+  EXPECT_DOUBLE_EQ(classify(s).arithmetic_intensity, 0.0);
+}
+
+TEST(Bottleneck, PctOfRoofClampedWhenWallUndercutsModel) {
+  // A measured wall smaller than the modeled lower bound would report
+  // >100% of roof; the classifier clamps so pct stays a fraction.
+  PhaseSample s;
+  s.wall_s = 0.5;
+  s.t_dram = 0.8;
+  const Verdict v = classify(s);
+  EXPECT_DOUBLE_EQ(v.pct_of_roof, 1.0);
+  EXPECT_DOUBLE_EQ(v.headroom, 0.0);
+}
+
+TEST(Bottleneck, IdenticalCountersYieldIdenticalVerdicts) {
+  PhaseSample s;
+  s.phase = kPhaseSolve;
+  s.wall_s = 0.123;
+  s.t_compute = 0.07;
+  s.t_dram = 0.11;
+  s.flops = 1e9;
+  s.bytes = 3e9;
+  const Verdict a = classify(s);
+  const Verdict b = classify(s);
+  EXPECT_EQ(a.bound, b.bound);
+  EXPECT_DOUBLE_EQ(a.pct_of_roof, b.pct_of_roof);
+  EXPECT_DOUBLE_EQ(a.headroom, b.headroom);
+  EXPECT_DOUBLE_EQ(a.arithmetic_intensity, b.arithmetic_intensity);
+}
+
+TEST(Bottleneck, AddKernelTimeAccumulatesComponentsAndWall) {
+  gpusim::KernelTime a;
+  a.seconds = 0.5;
+  a.t_compute = 0.2;
+  a.t_dram = 0.5;
+  gpusim::KernelTime b;
+  b.seconds = 0.3;
+  b.t_compute = 0.3;
+  b.t_l2 = 0.1;
+  PhaseSample s;
+  add_kernel_time(s, a);
+  add_kernel_time(s, b);
+  EXPECT_DOUBLE_EQ(s.wall_s, 0.8);
+  EXPECT_DOUBLE_EQ(s.t_compute, 0.5);
+  EXPECT_DOUBLE_EQ(s.t_dram, 0.5);
+  EXPECT_DOUBLE_EQ(s.t_l2, 0.1);
+}
+
+TEST(Bottleneck, AgreesWithGpusimKernelBoundAttribution) {
+  // End to end against the cost model: a kernel gpusim calls DRAM-bound
+  // must classify as dram when its KernelTime is the only input.
+  const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
+  gpusim::KernelProfile p;
+  p.name = "streaming_copy";
+  p.flops = 1e6;  // trivially few FLOPs
+  p.dram_read_bytes = 1e9;
+  p.dram_write_bytes = 1e9;
+  p.warps_per_sm = 64;
+  const auto t = gpusim::kernel_time(dev, p);
+  ASSERT_STREQ(t.bound_by, "dram");
+  PhaseSample s;
+  s.phase = kPhaseHermitian;
+  add_kernel_time(s, t);
+  EXPECT_EQ(classify(s).bound, Bound::dram);
+  EXPECT_NEAR(classify(s).pct_of_roof, 1.0, 0.01);
+}
+
+TEST(Bottleneck, BoundNamesRoundTrip) {
+  for (Bound b : {Bound::compute, Bound::dram, Bound::l2, Bound::latency,
+                  Bound::comm, Bound::stall}) {
+    EXPECT_STRNE(to_string(b), "");
+    EXPECT_STRNE(describe(b), "");
+  }
+  EXPECT_STREQ(to_string(Bound::dram), "dram");
+  EXPECT_STREQ(to_string(Bound::stall), "stall");
+}
+
+TEST(Bottleneck, RooflineTableNamesPhaseAndVerdict) {
+  PhaseSample s;
+  s.phase = kPhaseHermitian;
+  s.wall_s = 0.01;
+  s.t_dram = 0.0086;
+  s.flops = 41.0;
+  s.bytes = 100.0;
+  const Verdict v = classify(s);
+  const std::string table =
+      render_roofline_table(std::span<const Verdict>(&v, 1), "Test GPU");
+  EXPECT_NE(table.find("Test GPU"), std::string::npos);
+  EXPECT_NE(table.find("get_hermitian"), std::string::npos);
+  EXPECT_NE(table.find("flop/B"), std::string::npos);
+  EXPECT_NE(table.find("of dram roof"), std::string::npos);
+  EXPECT_NE(table.find("bandwidth-bound (DRAM)"), std::string::npos);
+  EXPECT_NE(table.find("86%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cumf::prof

@@ -346,6 +346,44 @@ TEST(Roofline, CgCutsSolveComplexity) {
   EXPECT_LT(lu.solve_compute / cg.solve_compute, 8.0);
 }
 
+TEST(Roofline, AlsComplexityPinnedAtSmallF) {
+  // Hand-derived at nnz=10, m=3, n=2, f=2 — the classifier inputs are
+  // anchored to exact FLOP/byte counts, not just ratios:
+  //   hermitian_compute = nnz·f²            = 10·4        = 40
+  //   hermitian_memory  = (nnz·f+(m+n)f²)·4 = (20+20)·4   = 160
+  //   solve_compute     = (m+n)·(2/3)f³     = 5·(2/3)·8   = 80/3
+  //   solve_memory      = (m+n)·f²·4        = 5·4·4       = 80
+  const auto c = als_complexity(10.0, 3.0, 2.0, 2);
+  EXPECT_DOUBLE_EQ(c.hermitian_compute, 40.0);
+  EXPECT_DOUBLE_EQ(c.hermitian_memory, 160.0);
+  EXPECT_DOUBLE_EQ(c.solve_compute, 80.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.solve_memory, 80.0);
+}
+
+TEST(Roofline, AlsCgComplexityPinnedAtSmallF) {
+  // Same shape, CG with fs=3 truncation; hermitian terms unchanged:
+  //   solve_compute = (m+n)·fs·2f² = 5·3·2·4 = 120
+  //   solve_memory  = (m+n)·fs·f²·4 = 5·3·4·4 = 240
+  const auto c = als_complexity_cg(10.0, 3.0, 2.0, 2, 3);
+  EXPECT_DOUBLE_EQ(c.hermitian_compute, 40.0);
+  EXPECT_DOUBLE_EQ(c.hermitian_memory, 160.0);
+  EXPECT_DOUBLE_EQ(c.solve_compute, 120.0);
+  EXPECT_DOUBLE_EQ(c.solve_memory, 240.0);
+}
+
+TEST(Roofline, SgdComplexityPinnedAtSmallF) {
+  // nnz=10, f=2: compute = 10·10f = 200, memory = 10·16f = 320.
+  const auto c = sgd_complexity(10.0, 2);
+  EXPECT_DOUBLE_EQ(c.compute, 200.0);
+  EXPECT_DOUBLE_EQ(c.memory, 320.0);
+}
+
+TEST(Roofline, Fp16PackTrafficCountsReadAndWrite) {
+  // 4 bytes read (FP32 source) + 2 written (FP16 dest) per element.
+  EXPECT_DOUBLE_EQ(fp16_pack_traffic(10.0), 60.0);
+  EXPECT_DOUBLE_EQ(fp16_pack_traffic(0.0), 0.0);
+}
+
 TEST(Roofline, OpCountsAccumulate) {
   OpCounts a{100.0, 10.0, 6.0};
   OpCounts b{50.0, 4.0, 0.0};

@@ -4,6 +4,7 @@
 // engine meets). The CLI-level leg (cumf_shard build → streamed train →
 // cmp against in-core, plus crash/resume) runs in tools/CMakeLists.txt.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <cstring>
@@ -25,7 +26,10 @@ namespace cumf {
 namespace {
 
 std::string temp_dir(const std::string& name) {
-  const auto dir = std::filesystem::path(::testing::TempDir()) / name;
+  // Suffix with the pid: ctest runs each parameterized instance as its own
+  // process, and concurrent instances sharing one directory race remove_all.
+  const auto dir = std::filesystem::path(::testing::TempDir()) /
+                   (name + "-" + std::to_string(::getpid()));
   std::filesystem::remove_all(dir);
   return dir.string();
 }

@@ -52,6 +52,17 @@ def diff(baseline_path, new_path, max_regress):
     for name in sorted(set(new_kernels) - set(base_kernels)):
         print(f"{name:32} {'(new kernel)':>38}")
     if failures:
+        # One named-reason line per failing gate, with the baseline and
+        # current values, so a CI log says what moved without re-running.
+        for name, delta in failures:
+            b = base_kernels[name]["simd_ns"]
+            n = new_kernels[name]["simd_ns"]
+            print(
+                f"FAIL[simd-regression]: kernel '{name}' baseline "
+                f"{b:.1f} ns -> current {n:.1f} ns ({delta:+.1%} exceeds "
+                f"the {max_regress:.0%} threshold)",
+                file=sys.stderr,
+            )
         worst = max(failures, key=lambda f: f[1])
         print(
             f"\nFAIL: {len(failures)} kernel(s) regressed beyond "
@@ -75,6 +86,11 @@ def assert_speedup(name, minimum, path):
         return 2
     actual = speedups[name]
     if actual < minimum:
+        print(
+            f"FAIL[speedup-below-floor]: '{name}' baseline floor "
+            f"{minimum:.2f}x -> current {actual:.2f}x",
+            file=sys.stderr,
+        )
         print(
             f"FAIL: speedup '{name}' is {actual:.2f}x, below the "
             f"{minimum:.2f}x floor",

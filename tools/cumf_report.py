@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""cuscope cross-run differ: explain regressions in attribution terms.
+
+Loads two telemetry JSONL files written by ``cumf_train --metrics``
+(schema 2, with cuscope ``bottleneck`` records) — or two committed
+``BENCH_*.json`` files with a ``speedups`` section — and reports what
+changed between them, phrased in roofline-attribution terms rather than
+raw seconds::
+
+    cumf_report.py baseline.jsonl current.jsonl [--threshold 0.10]
+                   [--epoch N] [--strict]
+
+Per-phase findings are compared at the last shared epoch (or ``--epoch``).
+Every finding carries a named reason:
+
+  phase-regressed   a phase's wall grew beyond the threshold; the message
+                    explains it with what moved (bound, arithmetic
+                    intensity, pct-of-roof, L2 hit rate, CG iterations)
+  phase-improved    the same, in the other direction
+  bound-changed     a phase sits under a different roof now
+  phase-added /     a phase exists in only one run (e.g. fp16_pack
+  phase-removed     disappears when the solver is not cg16)
+  rmse-regressed    test RMSE at the compared epoch got worse
+  speedup-regressed a BENCH speedups entry dropped beyond the threshold
+
+Exit codes (CI-friendly): 0 = no regressions (``--strict``: no findings at
+all), 1 = regressions found (``--strict``: any finding), 2 = unreadable
+input or schema validation failure. Diffing a run against itself always
+exits 0.
+
+No third-party dependencies — json only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def die(msg):
+    print("cumf_report: %s" % msg, file=sys.stderr)
+    sys.exit(2)
+
+
+def load_file(path):
+    """Returns ('metrics', records) or ('bench', doc)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as e:
+        die("cannot read %s: %s" % (path, e))
+    stripped = text.lstrip()
+    if not stripped:
+        die("%s is empty" % path)
+    if stripped.startswith("{") and "\n{" not in stripped.rstrip():
+        # A single JSON object: a committed BENCH_*.json result file.
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as e:
+            die("%s: not valid JSON (%s)" % (path, e))
+        if "speedups" in doc:
+            return "bench", doc
+        # Fall through: a one-line JSONL file is also a single object.
+    records = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            die("%s:%d: not valid JSON (%s)" % (path, lineno, e))
+    return "metrics", records
+
+
+def validate_metrics(records, path):
+    """Schema gate: cuscope diffs need the schema-2 bottleneck records."""
+    if not records or records[0].get("type") != "header":
+        die("%s: first record is not a telemetry header" % path)
+    schema = records[0].get("schema")
+    if schema != 2:
+        die("%s: schema %r, need schema 2 with bottleneck records "
+            "(re-run cumf_train --metrics, or check with "
+            "trace_report.py --check)" % (path, schema))
+    if not any(r.get("type") == "bottleneck" for r in records):
+        die("%s: no bottleneck records (schema 2 requires per-epoch "
+            "verdicts)" % path)
+
+
+class Finding:
+    def __init__(self, reason, severity, message):
+        self.reason = reason      # named reason tag for CI greps
+        self.severity = severity  # 'regression' | 'improvement' | 'change'
+        self.message = message
+
+
+def epochs_of(records):
+    return {r["epoch"]: r for r in records
+            if r.get("type") == "epoch" and "epoch" in r}
+
+
+def bottlenecks_at(records, epoch):
+    return {r["phase"]: r for r in records
+            if r.get("type") == "bottleneck" and r.get("epoch") == epoch
+            and "phase" in r}
+
+
+def rel_delta(a, b):
+    if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+        return None
+    if a == 0:
+        return None if b == 0 else float("inf")
+    return (b - a) / a
+
+
+def explain_phase(phase, a, b, ea, eb):
+    """Attribution clauses for one phase's delta, most telling first."""
+    clauses = []
+    if a.get("bound") != b.get("bound"):
+        clauses.append("bound %s -> %s (%s)"
+                       % (a.get("bound"), b.get("bound"), "the phase sits "
+                          "under a different roof"))
+    ai_a, ai_b = a.get("arithmetic_intensity"), b.get("arithmetic_intensity")
+    d = rel_delta(ai_a, ai_b)
+    if d is not None and abs(d) > 0.01:
+        clauses.append("arithmetic intensity %.3g -> %.3g flop/B"
+                       % (ai_a, ai_b))
+    pct_a, pct_b = a.get("pct_of_roof"), b.get("pct_of_roof")
+    if isinstance(pct_a, (int, float)) and isinstance(pct_b, (int, float)) \
+            and abs(pct_b - pct_a) > 0.01:
+        clauses.append("pct_of_roof %.0f%% -> %.0f%%"
+                       % (pct_a * 100.0, pct_b * 100.0))
+    if phase == "get_hermitian":
+        ca = (ea or {}).get("sim_cache", {})
+        cb = (eb or {}).get("sim_cache", {})
+        for key, label in (("l2_hit_rate", "L2 hit rate"),
+                           ("l1_hit_rate", "L1 hit rate")):
+            va, vb = ca.get(key), cb.get(key)
+            if isinstance(va, (int, float)) and isinstance(vb, (int, float)) \
+                    and abs(vb - va) > 0.01:
+                clauses.append("%s %.2f -> %.2f" % (label, va, vb))
+    if phase == "solve":
+        sa = (ea or {}).get("solver", {}).get("cg_iterations")
+        sb = (eb or {}).get("solver", {}).get("cg_iterations")
+        if isinstance(sa, (int, float)) and isinstance(sb, (int, float)) \
+                and sa != sb:
+            clauses.append("CG iterations %s -> %s" % (sa, sb))
+    return clauses
+
+
+def diff_metrics(a_records, b_records, a_path, b_path, threshold, epoch):
+    validate_metrics(a_records, a_path)
+    validate_metrics(b_records, b_path)
+    a_epochs, b_epochs = epochs_of(a_records), epochs_of(b_records)
+    shared = sorted(set(a_epochs) & set(b_epochs))
+    if not shared:
+        die("no shared epochs between %s and %s" % (a_path, b_path))
+    if epoch is None:
+        epoch = shared[-1]
+    elif epoch not in shared:
+        die("epoch %d not present in both files (shared: %s)"
+            % (epoch, shared))
+    print("comparing %s (baseline) vs %s (current) at epoch %d"
+          % (a_path, b_path, epoch))
+    a_sol = a_records[0].get("solver")
+    b_sol = b_records[0].get("solver")
+    if a_sol != b_sol:
+        print("  (solver differs: %s vs %s)" % (a_sol, b_sol))
+
+    findings = []
+    a_bn = bottlenecks_at(a_records, epoch)
+    b_bn = bottlenecks_at(b_records, epoch)
+    ea, eb = a_epochs.get(epoch), b_epochs.get(epoch)
+
+    for phase in sorted(set(a_bn) | set(b_bn)):
+        a, b = a_bn.get(phase), b_bn.get(phase)
+        if a is None:
+            findings.append(Finding(
+                "phase-added", "change",
+                "%s appears only in the current run (%s-bound, %.4g s)"
+                % (phase, b.get("bound"), b.get("wall_s", 0.0))))
+            continue
+        if b is None:
+            findings.append(Finding(
+                "phase-removed", "change",
+                "%s appears only in the baseline run (%s-bound, %.4g s)"
+                % (phase, a.get("bound"), a.get("wall_s", 0.0))))
+            continue
+        clauses = explain_phase(phase, a, b, ea, eb)
+        d = rel_delta(a.get("wall_s"), b.get("wall_s"))
+        if d is not None and abs(d) > threshold:
+            severity = "regression" if d > 0 else "improvement"
+            reason = "phase-regressed" if d > 0 else "phase-improved"
+            msg = "%s %+.1f%% wall (%.4g s -> %.4g s)" % (
+                phase, d * 100.0, a.get("wall_s"), b.get("wall_s"))
+            if clauses:
+                msg += ": " + "; ".join(clauses)
+            findings.append(Finding(reason, severity, msg))
+        elif a.get("bound") != b.get("bound"):
+            findings.append(Finding(
+                "bound-changed", "change",
+                "%s moved from %s- to %s-bound (wall within threshold); %s"
+                % (phase, a.get("bound"), b.get("bound"),
+                   "; ".join(clauses))))
+
+    rmse_a = (ea or {}).get("rmse")
+    rmse_b = (eb or {}).get("rmse")
+    d = rel_delta(rmse_a, rmse_b)
+    if d is not None and d > threshold:
+        findings.append(Finding(
+            "rmse-regressed", "regression",
+            "test RMSE %.5f -> %.5f (%+.1f%%) at epoch %d"
+            % (rmse_a, rmse_b, d * 100.0, epoch)))
+    return findings
+
+
+def diff_bench(a_doc, b_doc, threshold):
+    findings = []
+    a_sp = a_doc.get("speedups", {})
+    b_sp = b_doc.get("speedups", {})
+    for name in sorted(set(a_sp) | set(b_sp)):
+        if name not in b_sp:
+            findings.append(Finding("phase-removed", "change",
+                                    "speedup '%s' only in baseline" % name))
+            continue
+        if name not in a_sp:
+            findings.append(Finding("phase-added", "change",
+                                    "speedup '%s' only in current" % name))
+            continue
+        d = rel_delta(a_sp[name], b_sp[name])
+        if d is not None and abs(d) > threshold:
+            if d < 0:
+                findings.append(Finding(
+                    "speedup-regressed", "regression",
+                    "speedup '%s' %.2fx -> %.2fx (%+.1f%%)"
+                    % (name, a_sp[name], b_sp[name], d * 100.0)))
+            else:
+                findings.append(Finding(
+                    "speedup-improved", "improvement",
+                    "speedup '%s' %.2fx -> %.2fx (%+.1f%%)"
+                    % (name, a_sp[name], b_sp[name], d * 100.0)))
+    return findings
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two cumf telemetry (or BENCH) files and explain "
+                    "regressions in roofline-attribution terms.")
+    parser.add_argument("baseline", help="baseline metrics JSONL or BENCH "
+                                         "JSON")
+    parser.add_argument("current", help="current metrics JSONL or BENCH "
+                                        "JSON")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative delta that counts as a finding "
+                             "(default 0.10)")
+    parser.add_argument("--epoch", type=int, default=None,
+                        help="compare at this epoch (default: last shared)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on any finding, not just regressions")
+    args = parser.parse_args()
+
+    a_kind, a_payload = load_file(args.baseline)
+    b_kind, b_payload = load_file(args.current)
+    if a_kind != b_kind:
+        die("cannot diff a %s file against a %s file" % (a_kind, b_kind))
+    if a_kind == "bench":
+        findings = diff_bench(a_payload, b_payload, args.threshold)
+    else:
+        findings = diff_metrics(a_payload, b_payload, args.baseline,
+                                args.current, args.threshold, args.epoch)
+
+    order = {"regression": 0, "change": 1, "improvement": 2}
+    findings.sort(key=lambda f: order.get(f.severity, 3))
+    for f in findings:
+        print("  [%s] %s" % (f.reason, f.message))
+    regressions = sum(1 for f in findings if f.severity == "regression")
+    if not findings:
+        print("no differences beyond the %.0f%% threshold; 0 regressions"
+              % (args.threshold * 100.0))
+    else:
+        print("cumf_report: %d finding(s), %d regression(s)"
+              % (len(findings), regressions))
+    if regressions or (args.strict and findings):
+        sys.exit(1)
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

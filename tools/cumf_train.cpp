@@ -45,12 +45,14 @@
 //                  — zero kernel execution; aborts on error findings
 //   --trace F      write a Chrome trace-event JSON of the run to F
 //                  (load it in chrome://tracing or ui.perfetto.dev)
-//   --metrics F    append per-epoch telemetry JSONL to F (RMSE, phase
-//                  seconds, CG iteration histogram, FP16 pack volume,
-//                  simulated cache hit rates); tools/trace_report.py
-//                  summarizes and validates it
-//   --prof-summary print a per-span timing table (count/mean/p50/p95) after
-//                  training
+//   --metrics F    append per-epoch telemetry JSONL to F (schema 2: RMSE,
+//                  phase seconds, CG iteration histogram, FP16 pack volume,
+//                  simulated cache hit rates, plus one cuscope bottleneck
+//                  verdict per phase); tools/trace_report.py summarizes and
+//                  validates it, tools/cumf_report.py diffs two runs
+//   --prof-summary print a per-span timing table (count/mean/p50/p95),
+//                  engine phase seconds and the cuscope roofline
+//                  attribution table after training
 //   --checkpoint DIR       write a crash-safe checkpoint (CRC-framed binary,
 //                          atomic rename) into DIR during training
 //   --checkpoint-every N   checkpoint every N epochs (default 1)
@@ -104,7 +106,9 @@
 #include "metrics/convergence.hpp"
 #include "metrics/ranking.hpp"
 #include "metrics/rmse.hpp"
+#include "metrics/roofline.hpp"
 #include "mllib/als.hpp"
+#include "prof/bottleneck.hpp"
 #include "prof/prof.hpp"
 #include "prof/telemetry.hpp"
 #include "sparse/split.hpp"
@@ -205,6 +209,23 @@ struct ExplicitConfig {
   std::uint64_t host_mem = 0;
   std::uint64_t device_mem = 0;
   bool ooc_overlap = true;
+  /// --prof-summary wants the roofline verdicts even without --metrics.
+  bool prof_summary = false;
+};
+
+/// What run_explicit leaves behind for cmd_train's --prof-summary output:
+/// the last epoch's cuscope roofline verdicts plus the engine-level phase
+/// seconds (OOC stall/load/compute, multi-GPU compute/comm) so one summary
+/// reads uniformly across engines.
+struct RunSummary {
+  std::string roof_device;
+  std::vector<prof::Verdict> verdicts;
+  struct EnginePhase {
+    std::string name;
+    double seconds = 0;
+    double pct = 0;  ///< percent of the engine's epoch wall
+  };
+  std::vector<EnginePhase> engine_phases;
 };
 
 /// The explicit-ALS epoch loop, templated over the engine so AlsEngine and
@@ -216,7 +237,8 @@ struct ExplicitConfig {
 template <class Engine>
 int run_explicit(Engine& engine, const ExplicitConfig& cfg,
                  const RatingsCoo& ratings, const TrainTestSplit& split,
-                 Rng& rng, FactorModel& model, SolveStats& final_stats) {
+                 Rng& rng, FactorModel& model, SolveStats& final_stats,
+                 RunSummary& summary) {
   constexpr bool kMultiGpu = std::is_same_v<Engine, MultiGpuAls>;
   constexpr bool kOoc = std::is_same_v<Engine, OocAlsEngine>;
   Stopwatch sw;
@@ -323,27 +345,26 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
   prof::TelemetryWriter telemetry;
   gpusim::TraceStats cache_sim;
   const bool have_test = split.test.nnz() > 0;
+  // The modeled device, kernel config and shape feed both the telemetry
+  // (cache sim, header) and the cuscope roofline verdicts, which
+  // --prof-summary wants even without --metrics.
+  const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
+  AlsKernelConfig kc;
+  kc.f = cfg.f;
+  kc.tile = pick_tile(static_cast<std::size_t>(cfg.f), kc.tile);
+  kc.solver = cfg.solver;
+  kc.cg_fs = cfg.fs;
+  const UpdateShape shape{static_cast<double>(ratings.rows()),
+                          static_cast<double>(ratings.cols()),
+                          static_cast<double>(cfg.train_nnz)};
   if (!cfg.metrics_path.empty()) {
     if (!telemetry.open(cfg.metrics_path)) {
       std::fprintf(stderr, "cumf_train: cannot open '%s' for telemetry\n",
                    cfg.metrics_path.c_str());
       return 1;
     }
-    // The cache-model numbers come from gpusim's trace-driven simulation
-    // of get_hermitian's load phase on the paper's Maxwell device, fed
-    // with this dataset's real row structure. The kernel (and thus the
-    // hit profile) is epoch-invariant, so simulate once up front.
-    const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
-    AlsKernelConfig kc;
-    kc.f = cfg.f;
-    kc.tile = pick_tile(static_cast<std::size_t>(cfg.f), kc.tile);
-    kc.solver = cfg.solver;
-    kc.cg_fs = cfg.fs;
-    const UpdateShape shape{static_cast<double>(ratings.rows()),
-                            static_cast<double>(ratings.cols()),
-                            static_cast<double>(cfg.train_nnz)};
     prof::JsonObject header;
-    header.set("type", "header").set("schema", 1);
+    header.set("type", "header").set("schema", 2);
     header.set("dataset", cfg.ratings_path);
     header.set("rows", static_cast<std::uint64_t>(ratings.rows()));
     header.set("cols", static_cast<std::uint64_t>(ratings.cols()));
@@ -356,6 +377,31 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
     header.set("workers", cfg.workers).set("epochs", cfg.epochs);
     header.set("seed", cfg.seed);
     header.set("sim_device", dev.name);
+    // Schema 2: the device peaks the bottleneck verdicts were classified
+    // against, so cumf_report.py can diff runs in attribution terms.
+    prof::JsonObject roof;
+    roof.set("device", dev.name);
+    roof.set("peak_flops", dev.peak_flops);
+    roof.set("dram_bw", dev.dram_bw);
+    roof.set("l2_bw", dev.l2_bw);
+    roof.set("compute_efficiency", dev.compute_efficiency);
+    roof.set("memcpy_efficiency", dev.memcpy_efficiency);
+    header.set_raw("roof", roof.str());
+    // Analytic Table-I complexities at this run's shape: the reference
+    // line next to the measured per-epoch intensities.
+    const bool cg_like = cfg.solver == SolverKind::CgFp32 ||
+                         cfg.solver == SolverKind::CgFp16 ||
+                         cfg.solver == SolverKind::PcgFp32;
+    const AlsComplexity cx =
+        cg_like ? als_complexity_cg(shape.nnz, shape.rows, shape.cols,
+                                    cfg.f, static_cast<int>(cfg.fs))
+                : als_complexity(shape.nnz, shape.rows, shape.cols, cfg.f);
+    prof::JsonObject mdl;
+    mdl.set("hermitian_flops", cx.hermitian_compute);
+    mdl.set("hermitian_bytes", cx.hermitian_memory);
+    mdl.set("solve_flops", cx.solve_compute);
+    mdl.set("solve_bytes", cx.solve_memory);
+    header.set_raw("model", mdl.str());
     if constexpr (kMultiGpu) {
       header.set("gpus", engine.gpus());
       header.set("link", cfg.link_name);
@@ -384,6 +430,10 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
       header.set("resumed_from_epoch",
                  static_cast<std::uint64_t>(resumed->epoch));
     }
+    // The cache-model numbers come from gpusim's trace-driven simulation
+    // of get_hermitian's load phase on the paper's Maxwell device. The
+    // kernel (and thus the hit profile) is epoch-invariant, so simulate
+    // once up front.
     if (cfg.train_nnz > 0) {
       cache_sim = hermitian_load_stats(dev, shape, kc,
                                        /*sample_rows=*/nullptr);
@@ -391,7 +441,36 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
     telemetry.write(header);
   }
 
+  // cuscope: the roof components of the modeled kernel phases are
+  // epoch-invariant, so evaluate both half-sweeps once; arithmetic
+  // intensity and the fp16/multi-GPU/OOC phases vary per epoch and are
+  // filled inside the loop.
+  const bool want_verdicts =
+      (telemetry.is_open() || cfg.prof_summary) && cfg.train_nnz > 0;
+  prof::PhaseSample herm_base;
+  prof::PhaseSample solve_base;
+  if (want_verdicts) {
+    const UpdateShape x_shape{shape.rows, shape.cols, shape.nnz};
+    const UpdateShape t_shape{shape.cols, shape.rows, shape.nnz};
+    const UpdatePhaseTimes tx = update_phase_times(dev, x_shape, kc);
+    const UpdatePhaseTimes tt = update_phase_times(dev, t_shape, kc);
+    herm_base.phase = prof::kPhaseHermitian;
+    for (const gpusim::KernelTime* t :
+         {&tx.load, &tx.compute, &tx.write, &tt.load, &tt.compute,
+          &tt.write}) {
+      prof::add_kernel_time(herm_base, *t);
+    }
+    // The kernel double-buffers the shared-memory staging, so the phase
+    // wall is max(load, compute) + write per sweep, not the accumulated
+    // sum of kernel seconds.
+    herm_base.wall_s = tx.hermitian_seconds() + tt.hermitian_seconds();
+    solve_base.phase = prof::kPhaseSolve;
+    prof::add_kernel_time(solve_base, tx.solve);
+    prof::add_kernel_time(solve_base, tt.solve);
+  }
+
   ConvergenceTracker tracker;
+  std::vector<prof::Verdict> last_verdicts;
   SolveStats prev_stats;
   double final_rmse = std::numeric_limits<double>::quiet_NaN();
   double time_offset = 0.0;
@@ -429,13 +508,59 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
       tracker.record(time_offset + sw.seconds(), final_rmse, epoch);
     }
 
+    const SolveStats cumulative = engine.solve_stats();
+    const SolveStats delta = cumulative - prev_stats;
+    prev_stats = cumulative;
+    const auto& herm_ops = engine.hermitian_ops_per_epoch();
+    const auto& solve_ops = engine.solve_ops_per_epoch();
+
+    // cuscope verdicts for this epoch. The modeled-kernel phases are
+    // deterministic functions of counters (no clocks); only ooc_stream
+    // classifies measured seconds, because the exposed prefetch wait *is*
+    // the phenomenon being attributed there.
+    last_verdicts.clear();
+    if (want_verdicts) {
+      prof::PhaseSample herm = herm_base;
+      herm.flops = herm_ops.flops;
+      herm.bytes = herm_ops.bytes();
+      last_verdicts.push_back(prof::classify(herm));
+      prof::PhaseSample solve_sample = solve_base;
+      solve_sample.flops = solve_ops.flops;
+      solve_sample.bytes = solve_ops.bytes();
+      last_verdicts.push_back(prof::classify(solve_sample));
+      if (delta.fp16_converted > 0) {
+        prof::PhaseSample pack;
+        pack.phase = prof::kPhaseFp16Pack;
+        const double elems = static_cast<double>(delta.fp16_converted);
+        pack.flops = elems;  // one convert per element
+        pack.bytes = fp16_pack_traffic(elems);
+        pack.t_dram = pack.bytes / (dev.dram_bw * dev.memcpy_efficiency);
+        pack.t_compute = elems / (dev.peak_flops * dev.compute_efficiency);
+        last_verdicts.push_back(prof::classify(pack));
+      }
+      if constexpr (kMultiGpu) {
+        prof::PhaseSample mg;
+        mg.phase = prof::kPhaseMgpuAllGather;
+        mg.wall_s = scaling.total_s;
+        mg.t_compute = scaling.compute_s;
+        mg.t_comm = scaling.comm_s;
+        last_verdicts.push_back(prof::classify(mg));
+      }
+      if constexpr (kOoc) {
+        const OocEpochStats& os = engine.ooc_stats_last_epoch();
+        prof::PhaseSample st;
+        st.phase = prof::kPhaseOocStream;
+        st.wall_s = os.stall_s + os.compute_s;
+        st.t_compute = os.compute_s;
+        st.t_stall = os.stall_s;
+        st.flops = herm_ops.flops + solve_ops.flops;
+        st.bytes = static_cast<double>(os.bytes_loaded);
+        last_verdicts.push_back(prof::classify(st));
+      }
+    }
+
     if (telemetry.is_open()) {
-      const SolveStats cumulative = engine.solve_stats();
-      const SolveStats delta = cumulative - prev_stats;
-      prev_stats = cumulative;
       const auto& phase = engine.phase_seconds_last_epoch();
-      const auto& herm_ops = engine.hermitian_ops_per_epoch();
-      const auto& solve_ops = engine.solve_ops_per_epoch();
 
       prof::JsonObject rec;
       rec.set("type", "epoch").set("epoch", epoch);
@@ -532,6 +657,31 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
       }
 
       telemetry.write(rec);
+
+      // One bottleneck record per phase, after the epoch record it
+      // explains (schema 2; tools/trace_report.py --check enforces the
+      // shape, tools/cumf_report.py diffs runs by these).
+      for (const prof::Verdict& v : last_verdicts) {
+        prof::JsonObject bn;
+        bn.set("type", "bottleneck").set("epoch", epoch);
+        bn.set("phase", v.phase);
+        bn.set("bound", prof::to_string(v.bound));
+        bn.set("arithmetic_intensity", v.arithmetic_intensity);
+        bn.set("pct_of_roof", v.pct_of_roof);
+        bn.set("headroom", v.headroom);
+        bn.set("wall_s", v.wall_s);
+        prof::JsonObject roof_s;
+        roof_s.set("compute", v.sample.t_compute);
+        roof_s.set("dram", v.sample.t_dram);
+        roof_s.set("l2", v.sample.t_l2);
+        roof_s.set("latency", v.sample.t_latency);
+        roof_s.set("comm", v.sample.t_comm);
+        roof_s.set("stall", v.sample.t_stall);
+        bn.set_raw("roof_s", roof_s.str());
+        bn.set("flops", v.sample.flops);
+        bn.set("bytes", v.sample.bytes);
+        telemetry.write(bn);
+      }
     }
 
     if (!cfg.checkpoint_dir.empty() &&
@@ -580,6 +730,30 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
   if (telemetry.is_open()) {
     std::printf("telemetry written to %s (%zu records)\n",
                 cfg.metrics_path.c_str(), telemetry.lines_written());
+  }
+  summary.roof_device = dev.name;
+  summary.verdicts = std::move(last_verdicts);
+  if constexpr (kOoc) {
+    const OocEpochStats& os = engine.ooc_stats_last_epoch();
+    const double wall = os.stall_s + os.compute_s;
+    const auto pct = [wall](double s) {
+      return wall > 0 ? s / wall * 100.0 : 0.0;
+    };
+    summary.engine_phases.push_back(
+        {"ooc_stall", os.stall_s, pct(os.stall_s)});
+    summary.engine_phases.push_back({"ooc_load", os.load_s, pct(os.load_s)});
+    summary.engine_phases.push_back(
+        {"ooc_compute", os.compute_s, pct(os.compute_s)});
+  }
+  if constexpr (kMultiGpu) {
+    const double wall = scaling.total_s;
+    const auto pct = [wall](double s) {
+      return wall > 0 ? s / wall * 100.0 : 0.0;
+    };
+    summary.engine_phases.push_back(
+        {"mgpu_compute", scaling.compute_s, pct(scaling.compute_s)});
+    summary.engine_phases.push_back(
+        {"mgpu_comm", scaling.comm_s, pct(scaling.comm_s)});
   }
   final_stats = engine.solve_stats();
   model = FactorModel{engine.user_factors(), engine.item_factors()};
@@ -951,6 +1125,7 @@ int cmd_train(int argc, char** argv) {
 
   FactorModel model;
   SolveStats final_stats;  // explicit path only; drives --prof-summary
+  RunSummary summary;      // likewise: roofline verdicts + engine phases
   Stopwatch sw;
   if (implicit_alpha) {
     // Implicit path: the mllib facade drives ImplicitAlsEngine; per-epoch
@@ -1005,6 +1180,7 @@ int cmd_train(int argc, char** argv) {
     cfg.host_mem = host_mem;
     cfg.device_mem = device_mem;
     cfg.ooc_overlap = ooc_overlap;
+    cfg.prof_summary = prof_summary;
 
     int rc = 0;
     if (ooc) {
@@ -1019,15 +1195,15 @@ int cmd_train(int argc, char** argv) {
                      "tiles; prefetch disabled (synchronous loads)\n");
       }
       rc = run_explicit(engine, cfg, ratings, split, rng, model,
-                        final_stats);
+                        final_stats, summary);
     } else if (gpus >= 1) {
       MultiGpuAls engine(split.train, options, gpus);
       rc = run_explicit(engine, cfg, ratings, split, rng, model,
-                        final_stats);
+                        final_stats, summary);
     } else {
       AlsEngine engine(split.train, options);
       rc = run_explicit(engine, cfg, ratings, split, rng, model,
-                        final_stats);
+                        final_stats, summary);
     }
     if (rc != 0) {
       return rc;
@@ -1079,6 +1255,20 @@ int cmd_train(int argc, char** argv) {
       const double mb = static_cast<double>(load_bytes) / 1e6;
       std::printf("ratings read: %.1f MB in %.3f s (%.1f MB/s)\n", mb,
                   load_seconds, mb / load_seconds);
+    }
+    if (!summary.engine_phases.empty()) {
+      std::printf("\n%-24s %12s %9s\n", "engine phase", "seconds",
+                  "% wall");
+      for (const RunSummary::EnginePhase& p : summary.engine_phases) {
+        std::printf("%-24s %12.6f %8.1f%%\n", p.name.c_str(), p.seconds,
+                    p.pct);
+      }
+    }
+    if (!summary.verdicts.empty()) {
+      std::printf("\n%s",
+                  prof::render_roofline_table(summary.verdicts,
+                                              summary.roof_device)
+                      .c_str());
     }
   }
   return 0;

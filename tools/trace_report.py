@@ -8,7 +8,7 @@ Works on both artifacts cumf_train produces:
     from the exported file instead of the live tracer.
   * Epoch telemetry JSONL (``--metrics out.jsonl``): prints a per-epoch
     table (RMSE, epoch seconds, phase split, CG iterations) plus the merged
-    CG iteration histogram.
+    CG iteration histogram and the last epoch's roofline verdicts.
 
 Modes:
 
@@ -16,7 +16,10 @@ Modes:
   trace_report.py --check FILE     validate the schema; exit 1 on violations
                                    (trace: required keys, non-negative ts/dur,
                                    strict per-tid span nesting; telemetry:
-                                   header record, per-epoch required keys)
+                                   header record, per-epoch required keys;
+                                   schema 2 additionally requires one cuscope
+                                   bottleneck record per epoch with a valid
+                                   bound/phase enum and pct_of_roof in [0,1])
   trace_report.py --diff A B       compare two telemetry JSONL files epoch by
                                    epoch (RMSE and phase-seconds deltas)
 
@@ -141,21 +144,66 @@ def summarize_trace(events):
 
 # --- Telemetry JSONL ------------------------------------------------------
 
+# cuscope bottleneck record vocabulary (schema 2); mirrors
+# src/prof/bottleneck.hpp.
+BOTTLENECK_BOUNDS = ("compute", "dram", "l2", "latency", "comm", "stall")
+BOTTLENECK_PHASES = ("get_hermitian", "solve", "fp16_pack",
+                     "mgpu_allgather", "ooc_stream")
+
+
+def check_bottleneck(rec, i):
+    errors = []
+    for key in ("epoch", "phase", "bound", "arithmetic_intensity",
+                "pct_of_roof", "headroom", "wall_s", "roof_s"):
+        if key not in rec:
+            errors.append("record %d: bottleneck missing '%s'" % (i, key))
+    if "bound" in rec and rec["bound"] not in BOTTLENECK_BOUNDS:
+        errors.append("record %d: bound %r not one of %s"
+                      % (i, rec["bound"], "/".join(BOTTLENECK_BOUNDS)))
+    if "phase" in rec and rec["phase"] not in BOTTLENECK_PHASES:
+        errors.append("record %d: phase %r not one of %s"
+                      % (i, rec["phase"], "/".join(BOTTLENECK_PHASES)))
+    for key, lo, hi in (("pct_of_roof", 0.0, 1.0), ("headroom", 0.0, 1.0)):
+        val = rec.get(key)
+        if key in rec and (not isinstance(val, (int, float))
+                           or not lo <= val <= hi):
+            errors.append("record %d: %s out of [%g,%g]" % (i, key, lo, hi))
+    wall = rec.get("wall_s")
+    if "wall_s" in rec and (not isinstance(wall, (int, float)) or wall < 0):
+        errors.append("record %d: wall_s negative or non-numeric" % i)
+    return errors
+
+
 def check_metrics(records):
     errors = []
     if not records:
         return ["no records"]
     header = records[0]
+    schema = header.get("schema")
     if header.get("type") != "header":
         errors.append("first record must be the header "
                       "(got type=%r)" % header.get("type"))
-    elif header.get("schema") != 1:
-        errors.append("unknown schema version %r" % header.get("schema"))
+    elif schema not in (1, 2):
+        errors.append("unknown schema version %r" % schema)
+    epoch_numbers = []
+    bottleneck_phases = {}  # epoch -> [phase, ...]
+    prev_seconds = None
     for i, rec in enumerate(records[1:], 2):
-        if rec.get("type") != "epoch":
-            errors.append("record %d: type=%r, expected 'epoch'"
-                          % (i, rec.get("type")))
+        rtype = rec.get("type")
+        if rtype == "bottleneck":
+            if schema == 1:
+                errors.append("record %d: bottleneck records require "
+                              "schema 2" % i)
+            errors.extend(check_bottleneck(rec, i))
+            if isinstance(rec.get("epoch"), int):
+                bottleneck_phases.setdefault(rec["epoch"], []).append(
+                    rec.get("phase"))
             continue
+        if rtype != "epoch":
+            errors.append("record %d: type=%r, expected 'epoch' or "
+                          "'bottleneck'" % (i, rtype))
+            continue
+        epoch_numbers.append(rec.get("epoch"))
         for key in ("epoch", "seconds", "epoch_s", "phase_s", "solver",
                     "host_ops", "sim_cache"):
             if key not in rec:
@@ -177,10 +225,20 @@ def check_metrics(records):
             errors.append("record %d: sim_cache.l1_hit_rate out of [0,1]"
                           % i)
         sec = rec.get("seconds")
-        if isinstance(sec, (int, float)) and i > 2:
-            prev = records[i - 2].get("seconds")
-            if isinstance(prev, (int, float)) and sec < prev:
+        if isinstance(sec, (int, float)):
+            if isinstance(prev_seconds, (int, float)) and sec < prev_seconds:
                 errors.append("record %d: cumulative seconds decreased" % i)
+            prev_seconds = sec
+    if schema == 2:
+        for epoch in epoch_numbers:
+            if epoch not in bottleneck_phases:
+                errors.append("epoch %s: no bottleneck record (schema 2 "
+                              "requires per-epoch verdicts)" % epoch)
+        for epoch, phases in sorted(bottleneck_phases.items()):
+            dupes = {p for p in phases if phases.count(p) > 1}
+            if dupes:
+                errors.append("epoch %s: duplicate bottleneck phase(s) %s"
+                              % (epoch, sorted(dupes)))
     return errors
 
 
@@ -227,6 +285,21 @@ def summarize_metrics(records):
               % (100.0 * sim.get("l1_hit_rate", 0.0),
                  100.0 * sim.get("l2_hit_rate", 0.0),
                  sim.get("dram_bytes", 0.0) / 1024.0))
+    bottlenecks = [r for r in records if r.get("type") == "bottleneck"]
+    if bottlenecks:
+        last_epoch = max(r.get("epoch", 0) for r in bottlenecks)
+        print("roofline verdicts (epoch %s):" % last_epoch)
+        for rec in bottlenecks:
+            if rec.get("epoch") != last_epoch:
+                continue
+            print("  %-14s %6.2f flop/B, %3.0f%% of %s roof "
+                  "(headroom %.0f%%), %.4g s"
+                  % (rec.get("phase", "?"),
+                     rec.get("arithmetic_intensity", 0.0),
+                     100.0 * rec.get("pct_of_roof", 0.0),
+                     rec.get("bound", "?"),
+                     100.0 * rec.get("headroom", 0.0),
+                     rec.get("wall_s", 0.0)))
 
 
 def diff_metrics(a_records, b_records, a_path, b_path):
