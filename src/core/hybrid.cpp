@@ -1,9 +1,29 @@
 #include "core/hybrid.hpp"
 
+#include <string>
+
 #include "common/check.hpp"
 #include "linalg/dense.hpp"
 
 namespace cumf {
+
+namespace {
+
+std::string shape_error_message(const Rating& rating, index_t rows,
+                                index_t cols) {
+  return "HybridEngine::observe: streamed rating (u=" +
+         std::to_string(rating.u) + ", v=" + std::to_string(rating.v) +
+         ") is outside the trained " + std::to_string(rows) + "x" +
+         std::to_string(cols) +
+         " shape; in-place SGD cannot absorb a new user/item — fold new "
+         "users in through serve::ServeEngine, re-batch for new items";
+}
+
+}  // namespace
+
+StreamShapeError::StreamShapeError(const Rating& rating, index_t rows,
+                                   index_t cols)
+    : CheckError(shape_error_message(rating, rows, cols)), rating_(rating) {}
 
 HybridEngine::HybridEngine(const RatingsCoo& batch,
                            const HybridOptions& options)
@@ -29,8 +49,9 @@ void HybridEngine::run_batch() {
 }
 
 void HybridEngine::observe(const Rating& rating) {
-  CUMF_EXPECTS(rating.u < all_.rows() && rating.v < all_.cols(),
-               "streamed rating outside the model's shape");
+  if (rating.u >= all_.rows() || rating.v >= all_.cols()) {
+    throw StreamShapeError(rating, all_.rows(), all_.cols());
+  }
   all_.add(rating.u, rating.v, rating.r);
   streamed_.add(rating.u, rating.v, rating.r);
 

@@ -11,10 +11,28 @@
 
 #include <cstdint>
 
+#include "common/check.hpp"
 #include "core/als.hpp"
 #include "sparse/coo.hpp"
 
 namespace cumf {
+
+/// Thrown by HybridEngine::observe for a rating whose user or item index
+/// lies outside the trained factor shape. In-place SGD has no factor row to
+/// update for a genuinely new user or item — silently clamping or ignoring
+/// the rating would corrupt the stream accounting, so the rejection is loud
+/// and named. New users belong on the serving fold-in path
+/// (serve::ServeEngine::observe / fold_in_user), which solves a fresh
+/// factor row against the trained Θ; new items require a re-batch.
+class StreamShapeError : public CheckError {
+ public:
+  StreamShapeError(const Rating& rating, index_t rows, index_t cols);
+
+  const Rating& rating() const noexcept { return rating_; }
+
+ private:
+  Rating rating_;
+};
 
 struct HybridOptions {
   AlsOptions als;           ///< batch-phase configuration
@@ -31,8 +49,9 @@ class HybridEngine {
   HybridEngine(const RatingsCoo& batch, const HybridOptions& options);
 
   /// Absorbs one streamed rating with incremental SGD steps on x_u and θ_v.
-  /// Indices must lie inside the batch matrix's shape (growing the shape is
-  /// a re-batch-level event).
+  /// Indices must lie inside the batch matrix's shape; an out-of-shape
+  /// rating (a new user or item) throws StreamShapeError — route new users
+  /// through serve::ServeEngine fold-in instead.
   void observe(const Rating& rating);
 
   /// True once the stream has grown the data enough that a fresh batch

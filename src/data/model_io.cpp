@@ -1,7 +1,7 @@
 #include "data/model_io.hpp"
 
+#include <charconv>
 #include <fstream>
-#include <limits>
 #include <sstream>
 #include <string>
 
@@ -14,39 +14,45 @@ namespace {
 constexpr const char* kMagic = "cumf-model";
 constexpr int kVersion = 1;
 
-/// Restores a stream's formatting state on scope exit. write_matrix needs
-/// max_digits10 for lossless round-trips, but the caller's stream must not
-/// come back with its precision silently changed (it used to: any `os`
-/// passed in was left at max_digits10 for the rest of the program).
-class StreamStateGuard {
- public:
-  explicit StreamStateGuard(std::ostream& os)
-      : os_(os), precision_(os.precision()), flags_(os.flags()) {}
-  ~StreamStateGuard() {
-    os_.precision(precision_);
-    os_.flags(flags_);
-  }
-  StreamStateGuard(const StreamStateGuard&) = delete;
-  StreamStateGuard& operator=(const StreamStateGuard&) = delete;
+/// Shortest decimal that parses back to exactly `value` (std::to_chars
+/// round-trip guarantee). iostream formatting is deliberately avoided: it
+/// honours the global locale, so a model written under a comma-decimal
+/// locale would not be readable elsewhere, and its operator>> cannot parse
+/// the "inf"/"nan" that a diverged model legitimately contains.
+void append_value(std::string& out, real_t value) {
+  char buf[48];
+  const auto res = std::to_chars(buf, buf + sizeof buf, value);
+  CUMF_ENSURES(res.ec == std::errc{}, "model value formatting failed");
+  out.append(buf, res.ptr);
+}
 
- private:
-  std::ostream& os_;
-  std::streamsize precision_;
-  std::ios_base::fmtflags flags_;
-};
+/// Locale-independent float parse of one whitespace-delimited token.
+real_t parse_value(const std::string& token) {
+  real_t value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto res = std::from_chars(begin, end, value);
+  CUMF_EXPECTS(res.ec == std::errc{} && res.ptr == end,
+               "malformed matrix value '" + token + "'");
+  return value;
+}
 
 }  // namespace
 
 void write_matrix(std::ostream& os, const Matrix& matrix) {
-  const StreamStateGuard guard(os);
+  std::string line;
   os << matrix.rows() << ' ' << matrix.cols() << '\n';
-  os.precision(std::numeric_limits<real_t>::max_digits10);
   for (std::size_t r = 0; r < matrix.rows(); ++r) {
     const auto row = matrix.row(r);
+    line.clear();
     for (std::size_t c = 0; c < row.size(); ++c) {
-      os << (c == 0 ? "" : " ") << row[c];
+      if (c != 0) {
+        line += ' ';
+      }
+      append_value(line, row[c]);
     }
-    os << '\n';
+    line += '\n';
+    os << line;
   }
 }
 
@@ -57,10 +63,12 @@ Matrix read_matrix(std::istream& is) {
   CUMF_EXPECTS(!is.fail(), "malformed matrix header");
   CUMF_EXPECTS(rows > 0 && cols > 0, "matrix dimensions must be positive");
   Matrix m(rows, cols);
+  std::string token;
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c < cols; ++c) {
-      is >> m(r, c);
+      is >> token;
       CUMF_EXPECTS(!is.fail(), "truncated matrix data");
+      m(r, c) = parse_value(token);
     }
   }
   return m;

@@ -5,7 +5,10 @@
 //   <rows> <cols>
 //   <row 0: cols floats> ...
 // Two matrices (X then Θ) make a model file. Deliberately human-readable —
-// the same trade LIBMF makes for its model files.
+// the same trade LIBMF makes for its model files. Values are written as
+// shortest round-trip decimals (std::to_chars) and parsed with
+// std::from_chars, so the round trip is bit-exact, locale-independent, and
+// survives non-finite values; a served model is exactly the trained model.
 #pragma once
 
 #include <iosfwd>

@@ -67,6 +67,18 @@ class Matrix {
 double dot(std::span<const real_t> a, std::span<const real_t> b,
            simd::KernelPath path = simd::kDefaultPath);
 
+/// Batched row dots (the serving gemv): out[i] = dot(x, a.row(row_begin+i))
+/// for row_begin ≤ row < row_end, bit-identical per row to calling dot()
+/// with the same path. The SIMD variant widens x to double once for the
+/// whole scan and reuses the pre-widened chunks across every row — the
+/// float→double converts drop from two per chunk to one, not the reduction
+/// order; each row still runs dot()'s exact chunk/accumulator/tail
+/// sequence, so ranking code may mix dot() and dot_rows() freely.
+void dot_rows(std::span<const real_t> x, const Matrix& a,
+              std::size_t row_begin, std::size_t row_end,
+              std::span<double> out,
+              simd::KernelPath path = simd::kDefaultPath);
+
 /// y ← y + alpha * x
 void axpy(real_t alpha, std::span<const real_t> x, std::span<real_t> y,
           simd::KernelPath path = simd::kDefaultPath);

@@ -6,29 +6,55 @@
 
 namespace cumf {
 
+namespace {
+
+/// Heap comparator: orders better items first, so the std heap algorithms
+/// (which keep the *greatest* element at the front) surface the worst kept
+/// item — the eviction candidate.
+bool worse_at_front(const ScoredItem& a, const ScoredItem& b) noexcept {
+  return TopKSelector::better(a, b);
+}
+
+}  // namespace
+
+void TopKSelector::offer(index_t item, real_t score) {
+  if (k_ == 0) {
+    return;
+  }
+  const ScoredItem candidate{item, score};
+  if (heap_.size() < k_) {
+    heap_.push_back(candidate);
+    std::push_heap(heap_.begin(), heap_.end(), worse_at_front);
+    return;
+  }
+  if (better(candidate, heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), worse_at_front);
+    heap_.back() = candidate;
+    std::push_heap(heap_.begin(), heap_.end(), worse_at_front);
+  }
+}
+
+std::vector<ScoredItem> TopKSelector::take_sorted() {
+  std::sort_heap(heap_.begin(), heap_.end(), worse_at_front);
+  return std::move(heap_);
+}
+
 std::vector<ScoredItem> recommend_top_k(const Matrix& x, const Matrix& theta,
                                         const CsrMatrix& seen, index_t user,
                                         std::size_t k) {
   CUMF_EXPECTS(user < seen.rows(), "user out of range");
   CUMF_EXPECTS(x.cols() == theta.cols(), "factor dimension mismatch");
   const auto rated = seen.row_cols(user);
-  std::vector<ScoredItem> scored;
-  scored.reserve(seen.cols());
+  std::vector<double> scores(seen.cols());
+  dot_rows(x.row(user), theta, 0, seen.cols(), scores);
+  TopKSelector top(k);
   for (index_t v = 0; v < seen.cols(); ++v) {
     if (std::binary_search(rated.begin(), rated.end(), v)) {
       continue;
     }
-    scored.push_back(
-        ScoredItem{v, static_cast<real_t>(dot(x.row(user), theta.row(v)))});
+    top.offer(v, static_cast<real_t>(scores[v]));
   }
-  const std::size_t keep = std::min(k, scored.size());
-  std::partial_sort(
-      scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(keep),
-      scored.end(), [](const ScoredItem& a, const ScoredItem& b) {
-        return a.score != b.score ? a.score > b.score : a.item < b.item;
-      });
-  scored.resize(keep);
-  return scored;
+  return top.take_sorted();
 }
 
 double auc_observed_vs_random(const Matrix& x, const Matrix& theta,
@@ -38,6 +64,7 @@ double auc_observed_vs_random(const Matrix& x, const Matrix& theta,
   CUMF_EXPECTS(samples > 0, "need at least one sample");
   std::size_t wins = 0;
   std::size_t ties = 0;
+  std::size_t effective = 0;
   for (std::size_t s = 0; s < samples; ++s) {
     // Uniform observed pair via a uniform position in the CSR arrays.
     const auto pos = rng.uniform_index(observed.nnz());
@@ -46,14 +73,28 @@ double auc_observed_vs_random(const Matrix& x, const Matrix& theta,
     const auto it = std::upper_bound(ptr.begin(), ptr.end(), pos);
     const auto u = static_cast<index_t>(it - ptr.begin() - 1);
     const index_t v = observed.col_idx()[pos];
-    const auto rv = static_cast<index_t>(rng.uniform_index(observed.cols()));
+    // The negative must be genuinely unobserved for u: rejection-sample
+    // until the draw misses row_cols(u). A user who has rated every item
+    // has no negatives, so that draw is skipped rather than spun forever.
+    const auto rated = observed.row_cols(u);
+    if (rated.size() >= observed.cols()) {
+      continue;
+    }
+    index_t rv = 0;
+    do {
+      rv = static_cast<index_t>(rng.uniform_index(observed.cols()));
+    } while (std::binary_search(rated.begin(), rated.end(), rv));
     const double pos_score = dot(x.row(u), theta.row(v));
     const double neg_score = dot(x.row(u), theta.row(rv));
     wins += pos_score > neg_score;
     ties += pos_score == neg_score;
+    ++effective;
+  }
+  if (effective == 0) {
+    return 0.5;  // every user is saturated: no ranking question to ask
   }
   return (static_cast<double>(wins) + 0.5 * static_cast<double>(ties)) /
-         static_cast<double>(samples);
+         static_cast<double>(effective);
 }
 
 double precision_at_k(const Matrix& x, const Matrix& theta,

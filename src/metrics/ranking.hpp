@@ -22,14 +22,46 @@ struct ScoredItem {
   friend bool operator==(const ScoredItem&, const ScoredItem&) = default;
 };
 
+/// Bounded top-k selection under the ranking order (score descending, item
+/// ascending on ties — a total order over distinct items, so the selected
+/// set is unique regardless of offer order). A k-element min-heap keeps
+/// memory at O(k) however many candidates stream through; the serving layer
+/// runs one selector per item shard and merges the ≤ shards·k survivors
+/// through a final selector, which provably equals the single-pass answer.
+class TopKSelector {
+ public:
+  explicit TopKSelector(std::size_t k) : k_(k) { heap_.reserve(k); }
+
+  /// The ranking order shared with recommend_top_k's partial_sort.
+  static bool better(const ScoredItem& a, const ScoredItem& b) noexcept {
+    return a.score != b.score ? a.score > b.score : a.item < b.item;
+  }
+
+  void offer(index_t item, real_t score);
+
+  std::size_t k() const noexcept { return k_; }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Destructive: returns the kept items best-first and empties the heap.
+  std::vector<ScoredItem> take_sorted();
+
+ private:
+  std::size_t k_;
+  std::vector<ScoredItem> heap_;  ///< min-heap: worst kept item at front
+};
+
 /// Top-k unseen items for `user`: scores every column not present in
-/// `seen.row_cols(user)` with x_userᵀ θ_v and keeps the k best.
+/// `seen.row_cols(user)` with x_userᵀ θ_v (batched via dot_rows) and keeps
+/// the k best under TopKSelector's order.
 std::vector<ScoredItem> recommend_top_k(const Matrix& x, const Matrix& theta,
                                         const CsrMatrix& seen, index_t user,
                                         std::size_t k);
 
 /// AUC estimate: probability that a random observed (u, v) pair outscores a
-/// random unobserved item for the same user. `samples` pairs are drawn.
+/// random unobserved item for the same user. `samples` pairs are drawn;
+/// negatives are rejection-sampled so an item the user has rated is never
+/// counted as "unobserved" (draws for users who rated every item are
+/// skipped). Returns 0.5 when every draw was skipped.
 double auc_observed_vs_random(const Matrix& x, const Matrix& theta,
                               const CsrMatrix& observed, std::size_t samples,
                               Rng& rng);

@@ -1,5 +1,6 @@
 #include "prof/counters.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -26,6 +27,26 @@ void Histogram::observe(double value) noexcept {
   ++count_;
   sum_ += value;
   ++buckets_[bucket_key(value)];
+}
+
+double Histogram::percentile(double q) const noexcept {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  const double exact_rank = q * static_cast<double>(count_);
+  auto rank = static_cast<std::uint64_t>(std::ceil(exact_rank));
+  rank = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t cumulative = 0;
+  for (const auto& [key, n] : buckets_) {
+    cumulative += n;
+    if (cumulative >= rank) {
+      return static_cast<double>(key);
+    }
+  }
+  // Unreachable while the count/bucket invariant holds; keep the compiler
+  // and a torn snapshot honest.
+  return static_cast<double>(buckets_.rbegin()->first);
 }
 
 void Histogram::merge(const Histogram& other) {

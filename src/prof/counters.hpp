@@ -34,6 +34,14 @@ class Histogram {
     return buckets_;
   }
 
+  /// Nearest-rank percentile over the bucketed values: the smallest bucket
+  /// key whose cumulative count reaches ⌈q·count⌉. Exact for integer-valued
+  /// observations ≤ 128 (CG iterations, latencies recorded in µs); beyond
+  /// that the answer is the power-of-two bucket ceiling. Deterministic and
+  /// merge-stable: any merge tree over worker shards yields the same
+  /// percentiles. q is clamped to [0, 1]; an empty histogram reports 0.
+  double percentile(double q) const noexcept;
+
   /// Deterministic bucket key for a value (clamped at 0 below).
   static std::uint64_t bucket_key(double value) noexcept;
 

@@ -114,6 +114,37 @@ struct vd4 {
   double hsum() const noexcept { return (v[0] + v[2]) + (v[1] + v[3]); }
 };
 
+using f64x8 = double __attribute__((vector_size(64)));
+
+/// 8 packed doubles — the {acc_lo, acc_hi} vd4 pair fused into a single
+/// accumulator. Lane l holds exactly what lane (l < 4 ? acc_lo[l] :
+/// acc_hi[l-4]) holds in the split form (same per-lane products, same
+/// per-lane addition order), and hsum() reduces in the same order as
+/// acc_lo.hsum() + acc_hi.hsum() — so a kernel ported from the vd4 pair to
+/// vd8 is bit-identical, while the compiler gets one full-width convert and
+/// FMA per chunk instead of two half-width shuffles + converts.
+struct vd8 {
+  static constexpr std::size_t kLanes = 8;
+  f64x8 v;
+
+  static vd8 zero() noexcept { return {f64x8{}}; }
+  /// All 8 lanes widened to double (exact — every float is a double).
+  static vd8 widen(vf8 a) noexcept {
+    return {__builtin_convertvector(a.v, f64x8)};
+  }
+  /// acc += widen(a) * widen(b), one exact product per lane.
+  void mul_acc(vf8 a, vf8 b) noexcept { v += widen(a).v * widen(b).v; }
+  /// Same with a pre-widened left operand — hoists a's conversion out of
+  /// loops that reuse it across many right operands (e.g. gemv rows).
+  void mul_acc(vd8 a_wide, vf8 b) noexcept { v += a_wide.v * widen(b).v; }
+
+  /// ((v0+v2)+(v1+v3)) + ((v4+v6)+(v5+v7)) — exactly the vd4 pair's
+  /// acc_lo.hsum() + acc_hi.hsum().
+  double hsum() const noexcept {
+    return ((v[0] + v[2]) + (v[1] + v[3])) + ((v[4] + v[6]) + (v[5] + v[7]));
+  }
+};
+
 /// 8 packed uint32 — bit manipulation for the FP16 unpack/pack.
 struct vu8 {
   static constexpr std::size_t kLanes = 8;
@@ -219,6 +250,32 @@ struct vd4 {
     }
   }
   double hsum() const noexcept { return (v[0] + v[2]) + (v[1] + v[3]); }
+};
+
+/// Fused {acc_lo, acc_hi} pair — see the vector-ext backend's vd8 doc.
+struct vd8 {
+  static constexpr std::size_t kLanes = 8;
+  double v[8];
+
+  static vd8 zero() noexcept { return vd8{{0, 0, 0, 0, 0, 0, 0, 0}}; }
+  static vd8 widen(vf8 a) noexcept {
+    vd8 r;
+    for (std::size_t i = 0; i < kLanes; ++i) r.v[i] = a.v[i];
+    return r;
+  }
+  void mul_acc(vf8 a, vf8 b) noexcept {
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      v[i] += static_cast<double>(a.v[i]) * static_cast<double>(b.v[i]);
+    }
+  }
+  void mul_acc(vd8 a_wide, vf8 b) noexcept {
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      v[i] += a_wide.v[i] * static_cast<double>(b.v[i]);
+    }
+  }
+  double hsum() const noexcept {
+    return ((v[0] + v[2]) + (v[1] + v[3])) + ((v[4] + v[6]) + (v[5] + v[7]));
+  }
 };
 
 struct vu8 {
