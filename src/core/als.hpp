@@ -36,6 +36,22 @@ enum class AlsSchedule {
   nnz_guided,
 };
 
+inline const char* to_string(AlsSchedule schedule) {
+  return schedule == AlsSchedule::static_rows ? "static" : "nnz";
+}
+
+/// Inverse of to_string(AlsSchedule) — the spellings cumf_train's
+/// --schedule flag and tuned-config JSON use; std::nullopt when unknown.
+inline std::optional<AlsSchedule> schedule_from_name(std::string_view name) {
+  if (name == "static") {
+    return AlsSchedule::static_rows;
+  }
+  if (name == "nnz") {
+    return AlsSchedule::nnz_guided;
+  }
+  return std::nullopt;
+}
+
 struct AlsOptions {
   std::size_t f = 40;         ///< latent dimension
   real_t lambda = 0.05f;      ///< ALS-WR regularization (λ·n_u on diagonal)

@@ -26,6 +26,41 @@ const char* to_string(SolverKind kind) {
   return "unknown";
 }
 
+const char* solver_cli_name(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::LuFp32:
+      return "lu";
+    case SolverKind::CholeskyFp32:
+      return "cholesky";
+    case SolverKind::CgFp32:
+      return "cg";
+    case SolverKind::CgFp16:
+      return "cg16";
+    case SolverKind::PcgFp32:
+      return "pcg";
+  }
+  return "unknown";
+}
+
+std::optional<SolverKind> solver_from_cli_name(std::string_view name) {
+  if (name == "lu") {
+    return SolverKind::LuFp32;
+  }
+  if (name == "cholesky") {
+    return SolverKind::CholeskyFp32;
+  }
+  if (name == "cg") {
+    return SolverKind::CgFp32;
+  }
+  if (name == "cg16") {
+    return SolverKind::CgFp16;
+  }
+  if (name == "pcg") {
+    return SolverKind::PcgFp32;
+  }
+  return std::nullopt;
+}
+
 namespace {
 
 bool all_finite(std::span<const real_t> v) noexcept {

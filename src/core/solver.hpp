@@ -9,8 +9,10 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
@@ -27,6 +29,14 @@ enum class SolverKind {
 };
 
 const char* to_string(SolverKind kind);
+
+/// CLI spelling of a solver ("lu", "cholesky", "cg", "cg16", "pcg") — what
+/// cumf_train's --solver flag accepts and tuned-config JSON stores; distinct
+/// from the display names to_string() renders.
+const char* solver_cli_name(SolverKind kind);
+
+/// Inverse of solver_cli_name; std::nullopt on an unknown spelling.
+std::optional<SolverKind> solver_from_cli_name(std::string_view name);
 
 /// Truncation / tolerance knobs for the CG variants (Algorithm 1).
 struct SolverOptions {

@@ -1,6 +1,25 @@
 #include "gpusim/device.hpp"
 
+#include "common/check.hpp"
+
 namespace cumf::gpusim {
+
+DeviceSpec device_by_name(std::string_view name) {
+  if (name == "k40") {
+    return DeviceSpec::kepler_k40();
+  }
+  if (name == "titanx") {
+    return DeviceSpec::maxwell_titan_x();
+  }
+  if (name == "p100") {
+    return DeviceSpec::pascal_p100();
+  }
+  if (name == "v100") {
+    return DeviceSpec::volta_v100();
+  }
+  throw CheckError("unknown device '" + std::string(name) +
+                   "' (expected k40, titanx, p100 or v100)");
+}
 
 // Numbers are the published architectural parameters for each device;
 // where the paper states a figure (Table III: peak FLOPS, memory bandwidth)

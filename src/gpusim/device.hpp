@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace cumf::gpusim {
 
@@ -56,6 +57,10 @@ struct DeviceSpec {
   /// released after the paper; used by the future-work benches.
   static DeviceSpec volta_v100();
 };
+
+/// Preset lookup by CLI short name ("k40", "titanx", "p100", "v100");
+/// throws CheckError naming the valid spellings on anything else.
+DeviceSpec device_by_name(std::string_view name);
 
 /// CPU host / cluster description for the LIBMF and NOMAD comparison lines
 /// (Fig. 6, Table IV). Like the GPUs, CPU baselines run functionally and are

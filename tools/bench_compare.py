@@ -30,19 +30,50 @@ def load(path):
         sys.exit(2)
 
 
+def simd_ns(path, kernels, name):
+    """Positive simd_ns for one kernel, or exit 2 naming what's wrong.
+
+    A baseline with a missing or zero-valued timing can't anchor a
+    regression ratio; treating it as "no regression" (the old KeyError /
+    ZeroDivisionError paths died with a traceback, or worse, a crafted zero
+    baseline made every comparison pass) would let real slowdowns through.
+    """
+    entry = kernels[name]
+    if "simd_ns" not in entry:
+        print(
+            f"bench_compare: kernel '{name}' in {path} has no 'simd_ns' "
+            f"field (malformed bench output)",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    value = entry["simd_ns"]
+    if not isinstance(value, (int, float)) or not value > 0:
+        print(
+            f"bench_compare: kernel '{name}' in {path} has non-positive "
+            f"simd_ns {value!r} (a zero baseline would gate nothing)",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return value
+
+
 def diff(baseline_path, new_path, max_regress):
     base = load(baseline_path)
     new = load(new_path)
     base_kernels = base.get("kernels", {})
     new_kernels = new.get("kernels", {})
     failures = []
+    missing = []
     print(f"{'kernel':32} {'base simd ns':>14} {'new simd ns':>14} {'delta':>8}")
     for name in sorted(base_kernels):
+        b = simd_ns(baseline_path, base_kernels, name)
         if name not in new_kernels:
-            print(f"{name:32} {'(missing in new run)':>38}")
+            # A kernel that vanished is a failed gate, not a skipped row: a
+            # rename or a dropped bench would otherwise pass silently.
+            print(f"{name:32} {'(missing in new run)':>38}  <-- MISSING")
+            missing.append(name)
             continue
-        b = base_kernels[name]["simd_ns"]
-        n = new_kernels[name]["simd_ns"]
+        n = simd_ns(new_path, new_kernels, name)
         delta = (n - b) / b
         flag = ""
         if delta > max_regress:
@@ -51,9 +82,15 @@ def diff(baseline_path, new_path, max_regress):
         print(f"{name:32} {b:14.1f} {n:14.1f} {delta:+7.1%}{flag}")
     for name in sorted(set(new_kernels) - set(base_kernels)):
         print(f"{name:32} {'(new kernel)':>38}")
-    if failures:
+    if failures or missing:
         # One named-reason line per failing gate, with the baseline and
         # current values, so a CI log says what moved without re-running.
+        for name in missing:
+            print(
+                f"FAIL[kernel-missing]: kernel '{name}' is in the baseline "
+                f"but absent from {new_path}",
+                file=sys.stderr,
+            )
         for name, delta in failures:
             b = base_kernels[name]["simd_ns"]
             n = new_kernels[name]["simd_ns"]
@@ -63,12 +100,16 @@ def diff(baseline_path, new_path, max_regress):
                 f"the {max_regress:.0%} threshold)",
                 file=sys.stderr,
             )
-        worst = max(failures, key=lambda f: f[1])
-        print(
-            f"\nFAIL: {len(failures)} kernel(s) regressed beyond "
-            f"{max_regress:.0%} (worst: {worst[0]} {worst[1]:+.1%})",
-            file=sys.stderr,
-        )
+        summary = []
+        if failures:
+            worst = max(failures, key=lambda f: f[1])
+            summary.append(
+                f"{len(failures)} kernel(s) regressed beyond "
+                f"{max_regress:.0%} (worst: {worst[0]} {worst[1]:+.1%})"
+            )
+        if missing:
+            summary.append(f"{len(missing)} kernel(s) missing from the new run")
+        print(f"\nFAIL: {'; '.join(summary)}", file=sys.stderr)
         return 1
     print(f"\nOK: no kernel regressed beyond {max_regress:.0%}")
     return 0

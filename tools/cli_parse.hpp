@@ -1,0 +1,78 @@
+// Checked numeric parsing for the CLI tools.
+//
+// std::atoi/atof silently return 0 on garbage: `--epochs abc` used to train
+// zero epochs and a negative `--fs` wrapped through static_cast to a huge
+// truncation depth. Every flag value now requires a full-token in-range
+// parse; anything else exits 2 naming the tool, the flag and the offending
+// value (the same strictness PR 9 gave the model/checkpoint readers). The
+// auto-tuner drives cumf_train programmatically, so a silently-zeroed flag
+// would poison every sample it measures.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace cumf::cli {
+
+[[noreturn]] inline void bad_value(const char* tool, const char* flag,
+                                   std::string_view value, const char* why) {
+  std::fprintf(stderr, "%s: invalid value '%.*s' for %s (%s)\n", tool,
+               static_cast<int>(value.size()), value.data(), flag, why);
+  std::exit(2);
+}
+
+/// Signed integer in [lo, hi]; the whole token must parse.
+inline std::int64_t parse_int(const char* tool, const char* flag,
+                              std::string_view value, std::int64_t lo,
+                              std::int64_t hi) {
+  std::int64_t out = 0;
+  const char* end = value.data() + value.size();
+  const auto res = std::from_chars(value.data(), end, out);
+  if (res.ec != std::errc{} || res.ptr != end || value.empty()) {
+    bad_value(tool, flag, value, "expected an integer");
+  }
+  if (out < lo || out > hi) {
+    bad_value(tool, flag, value, "out of range");
+  }
+  return out;
+}
+
+/// Unsigned integer in [lo, hi]. A leading '-' is rejected up front so
+/// "-3" can't wrap to a huge value.
+inline std::uint64_t parse_uint(const char* tool, const char* flag,
+                                std::string_view value, std::uint64_t lo,
+                                std::uint64_t hi) {
+  if (!value.empty() && value.front() == '-') {
+    bad_value(tool, flag, value, "expected a non-negative integer");
+  }
+  std::uint64_t out = 0;
+  const char* end = value.data() + value.size();
+  const auto res = std::from_chars(value.data(), end, out);
+  if (res.ec != std::errc{} || res.ptr != end || value.empty()) {
+    bad_value(tool, flag, value, "expected a non-negative integer");
+  }
+  if (out < lo || out > hi) {
+    bad_value(tool, flag, value, "out of range");
+  }
+  return out;
+}
+
+/// Finite double in [lo, hi]; the whole token must parse.
+inline double parse_double(const char* tool, const char* flag,
+                           std::string_view value, double lo, double hi) {
+  double out = 0;
+  const char* end = value.data() + value.size();
+  const auto res = std::from_chars(value.data(), end, out);
+  if (res.ec != std::errc{} || res.ptr != end || value.empty()) {
+    bad_value(tool, flag, value, "expected a number");
+  }
+  if (!(out >= lo && out <= hi)) {  // NaN fails both comparisons
+    bad_value(tool, flag, value, "out of range");
+  }
+  return out;
+}
+
+}  // namespace cumf::cli

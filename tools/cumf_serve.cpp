@@ -37,6 +37,8 @@
 #include "serve/serve.hpp"
 #include "sparse/csr.hpp"
 
+#include "cli_parse.hpp"
+
 using namespace cumf;
 
 namespace {
@@ -115,15 +117,19 @@ int main(int argc, char** argv) {
     if (arg == "--requests") {
       requests_path = next();
     } else if (arg == "--shards") {
-      options.shards = static_cast<std::size_t>(std::atoi(next()));
+      options.shards = static_cast<std::size_t>(
+          cli::parse_uint("cumf_serve", "--shards", next(), 1, 65536));
     } else if (arg == "--cache") {
-      options.cache_capacity = static_cast<std::size_t>(std::atoi(next()));
+      options.cache_capacity = static_cast<std::size_t>(
+          cli::parse_uint("cumf_serve", "--cache", next(), 0, 1000000000));
     } else if (arg == "--lambda") {
-      options.lambda = static_cast<real_t>(std::atof(next()));
+      options.lambda = static_cast<real_t>(
+          cli::parse_double("cumf_serve", "--lambda", next(), 0.0, 1e9));
     } else if (arg == "--solver") {
       options.solver.kind = parse_solver(next());
     } else if (arg == "--fs") {
-      options.solver.cg_fs = static_cast<std::uint32_t>(std::atoi(next()));
+      options.solver.cg_fs = static_cast<std::uint32_t>(
+          cli::parse_uint("cumf_serve", "--fs", next(), 1, 1024));
     } else if (arg == "--scalar") {
       options.path = simd::KernelPath::scalar;
       options.solver.path = simd::KernelPath::scalar;

@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <limits>
 #include <string>
 
 #include "common/check.hpp"
@@ -27,6 +28,8 @@
 #include "data/loaders.hpp"
 #include "data/shards.hpp"
 #include "sparse/coo.hpp"
+
+#include "cli_parse.hpp"
 
 namespace {
 
@@ -84,12 +87,15 @@ int cmd_build(int argc, char** argv) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
     if (arg == "--tiles" && has_value) {
-      options.tiles = static_cast<std::size_t>(std::strtoull(argv[++i],
-                                                             nullptr, 10));
+      options.tiles = static_cast<std::size_t>(
+          cli::parse_uint("cumf_shard", "--tiles", argv[++i], 1, 1000000));
     } else if (arg == "--test" && has_value) {
-      options.test_fraction = std::strtod(argv[++i], nullptr);
+      options.test_fraction =
+          cli::parse_double("cumf_shard", "--test", argv[++i], 0.0, 1.0);
     } else if (arg == "--seed" && has_value) {
-      options.seed = std::strtoull(argv[++i], nullptr, 10);
+      options.seed =
+          cli::parse_uint("cumf_shard", "--seed", argv[++i], 0,
+                          std::numeric_limits<std::uint64_t>::max());
     } else if (arg == "--movielens") {
       loader.format = RatingsFormat::MovieLens;
       loader.one_based = true;

@@ -10,6 +10,15 @@
 //   -t N           epochs (default 10)
 //   --solver S     lu | cholesky | cg | cg16 | pcg   (default cg16)
 //   --fs N         CG truncation (default 6)
+//   --tile N       hermitian register-tile width (default 10, snapped to
+//                  the largest divisor of f)
+//   --bin N        hermitian BIN batching factor (default 32)
+//   --schedule S   worker schedule: static | nnz (default nnz)
+//   --auto-tune P  load a cumf_tune config (a file, or a directory keyed by
+//                  device x dataset fingerprint) and apply its knobs; flags
+//                  given explicitly on the command line win over the tuned
+//                  values. A config for a different device/dataset/f/lambda
+//                  is a hard error naming the mismatch.
 //   --workers N    host threads (default 1)
 //   --gpus N       train on N simulated devices (MultiGpuAls): nnz-balanced
 //                  row shards run concurrently, one solver+workspace per
@@ -112,17 +121,24 @@
 #include "prof/prof.hpp"
 #include "prof/telemetry.hpp"
 #include "sparse/split.hpp"
+#include "tune/tune.hpp"
+
+#include "cli_parse.hpp"
 
 using namespace cumf;
 
 namespace {
 
+constexpr const char* kTool = "cumf_train";
+
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  cumf_train train <ratings> <model-out> [-f N] [-l X] "
-               "[-t N]\n"
+               "[-t N | --epochs N]\n"
                "             [--solver lu|cholesky|cg|cg16|pcg] [--fs N]\n"
+               "             [--tile N] [--bin N] [--schedule static|nnz]\n"
+               "             [--auto-tune FILE|DIR]\n"
                "             [--workers N] [--gpus N] [--link pcie3|nvlink]\n"
                "             [--shards DIR] [--host-mem SIZE] "
                "[--device-mem SIZE]\n"
@@ -188,6 +204,9 @@ struct ExplicitConfig {
   int epochs = 10;
   SolverKind solver = SolverKind::CgFp16;
   std::uint32_t fs = 6;
+  int tile = 10;  ///< hermitian register tile (snapped via pick_tile)
+  int bin = 32;   ///< hermitian BIN batching factor
+  AlsSchedule schedule = AlsSchedule::nnz_guided;
   int workers = 1;
   int gpus = 0;  ///< 0 = single-engine path (no --gpus given)
   std::string link_name = "nvlink";
@@ -211,6 +230,9 @@ struct ExplicitConfig {
   bool ooc_overlap = true;
   /// --prof-summary wants the roofline verdicts even without --metrics.
   bool prof_summary = false;
+  /// JSON payload of the applied --auto-tune config, embedded verbatim in
+  /// the --metrics header so a run records what tuned it. Empty = untuned.
+  std::string tuned_json;
 };
 
 /// What run_explicit leaves behind for cmd_train's --prof-summary output:
@@ -307,7 +329,8 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
     const gpusim::LinkSpec link = gpusim::link_by_name(cfg.link_name);
     AlsKernelConfig kc;
     kc.f = cfg.f;
-    kc.tile = pick_tile(static_cast<std::size_t>(cfg.f), kc.tile);
+    kc.tile = pick_tile(static_cast<std::size_t>(cfg.f), cfg.tile);
+    kc.bin = cfg.bin;
     kc.solver = cfg.solver;
     kc.cg_fs = cfg.fs;
     scaling = engine.scaling_report(mgpu_dev, kc, link);
@@ -328,7 +351,8 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
     const gpusim::LinkSpec link = gpusim::link_by_name(cfg.link_name);
     AlsKernelConfig kc;
     kc.f = cfg.f;
-    kc.tile = pick_tile(static_cast<std::size_t>(cfg.f), kc.tile);
+    kc.tile = pick_tile(static_cast<std::size_t>(cfg.f), cfg.tile);
+    kc.bin = cfg.bin;
     kc.solver = cfg.solver;
     kc.cg_fs = cfg.fs;
     ooc_timeline = engine.epoch_timeline(mgpu_dev, kc, link,
@@ -351,7 +375,8 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
   const auto dev = gpusim::DeviceSpec::maxwell_titan_x();
   AlsKernelConfig kc;
   kc.f = cfg.f;
-  kc.tile = pick_tile(static_cast<std::size_t>(cfg.f), kc.tile);
+  kc.tile = pick_tile(static_cast<std::size_t>(cfg.f), cfg.tile);
+  kc.bin = cfg.bin;
   kc.solver = cfg.solver;
   kc.cg_fs = cfg.fs;
   const UpdateShape shape{static_cast<double>(ratings.rows()),
@@ -374,8 +399,13 @@ int run_explicit(Engine& engine, const ExplicitConfig& cfg,
     header.set("solver", to_string(cfg.solver));
     header.set("predicted_fp16_safe", cfg.predicted_fp16_safe);
     header.set("fs", static_cast<std::uint64_t>(cfg.fs));
+    header.set("tile", kc.tile).set("bin", kc.bin);
+    header.set("schedule", to_string(cfg.schedule));
     header.set("workers", cfg.workers).set("epochs", cfg.epochs);
     header.set("seed", cfg.seed);
+    if (!cfg.tuned_json.empty()) {
+      header.set_raw("auto_tune", cfg.tuned_json);
+    }
     header.set("sim_device", dev.name);
     // Schema 2: the device peaks the bottleneck verdicts were classified
     // against, so cumf_report.py can diff runs in attribution terms.
@@ -770,10 +800,21 @@ int cmd_train(int argc, char** argv) {
   double lambda = 0.05;
   int epochs = 10;
   SolverKind solver = SolverKind::CgFp16;
+  bool solver_given = false;
   std::uint32_t fs = 6;
+  bool fs_given = false;
+  int tile = 10;
+  bool tile_given = false;
+  int bin = 32;
+  bool bin_given = false;
+  AlsSchedule schedule = AlsSchedule::nnz_guided;
+  bool schedule_given = false;
+  std::string autotune_path;
   int workers = 1;
+  bool workers_given = false;
   int gpus = 0;  // 0 = --gpus not given: single-engine AlsEngine path
   std::string link_name = "nvlink";
+  bool link_given = false;
   std::optional<double> implicit_alpha;
   LoaderOptions loader;
   double test_fraction = 0.1;
@@ -803,43 +844,69 @@ int cmd_train(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "-f") {
-      f = std::atoi(next());
+      f = static_cast<int>(cli::parse_int(kTool, "-f", next(), 1, 65536));
     } else if (arg == "-l") {
-      lambda = std::atof(next());
-    } else if (arg == "-t") {
-      epochs = std::atoi(next());
+      lambda = cli::parse_double(kTool, "-l", next(), 0.0, 1e9);
+    } else if (arg == "-t" || arg == "--epochs") {
+      epochs = static_cast<int>(
+          cli::parse_int(kTool, arg.c_str(), next(), 1, 1000000));
     } else if (arg == "--solver") {
       solver = parse_solver(next());
+      solver_given = true;
     } else if (arg == "--fs") {
-      fs = static_cast<std::uint32_t>(std::atoi(next()));
-    } else if (arg == "--workers") {
-      workers = std::atoi(next());
-    } else if (arg == "--gpus") {
-      gpus = std::atoi(next());
-      if (gpus < 1) {
-        std::fprintf(stderr, "cumf_train: --gpus must be >= 1\n");
+      fs = static_cast<std::uint32_t>(
+          cli::parse_uint(kTool, "--fs", next(), 1, 1024));
+      fs_given = true;
+    } else if (arg == "--tile") {
+      tile = static_cast<int>(
+          cli::parse_int(kTool, "--tile", next(), 1, 65536));
+      tile_given = true;
+    } else if (arg == "--bin") {
+      bin = static_cast<int>(
+          cli::parse_int(kTool, "--bin", next(), 1, 65536));
+      bin_given = true;
+    } else if (arg == "--schedule") {
+      const std::string name = next();
+      const auto parsed = schedule_from_name(name);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "cumf_train: --schedule must be static or nnz\n");
         return 2;
       }
+      schedule = *parsed;
+      schedule_given = true;
+    } else if (arg == "--auto-tune") {
+      autotune_path = next();
+    } else if (arg == "--workers") {
+      workers = static_cast<int>(
+          cli::parse_int(kTool, "--workers", next(), 1, 4096));
+      workers_given = true;
+    } else if (arg == "--gpus") {
+      gpus = static_cast<int>(
+          cli::parse_int(kTool, "--gpus", next(), 1, 1024));
     } else if (arg == "--link") {
       link_name = next();
+      link_given = true;
       if (link_name != "pcie3" && link_name != "nvlink") {
         std::fprintf(stderr,
                      "cumf_train: --link must be pcie3 or nvlink\n");
         return 2;
       }
     } else if (arg == "--implicit") {
-      implicit_alpha = std::atof(next());
+      implicit_alpha = cli::parse_double(kTool, "--implicit", next(), 0.0,
+                                         1e9);
     } else if (arg == "--movielens") {
       loader.format = RatingsFormat::MovieLens;
       loader.one_based = true;
     } else if (arg == "--test") {
-      test_fraction = std::atof(next());
+      test_fraction = cli::parse_double(kTool, "--test", next(), 0.0, 0.99);
     } else if (arg == "--cucheck") {
       cucheck = true;
     } else if (arg == "--cuverify") {
       run_cuverify = true;
     } else if (arg == "--seed") {
-      seed = std::strtoull(next(), nullptr, 10);
+      seed = cli::parse_uint(kTool, "--seed", next(), 0,
+                             std::numeric_limits<std::uint64_t>::max());
       seed_given = true;
     } else if (arg == "--trace") {
       trace_path = next();
@@ -850,7 +917,8 @@ int cmd_train(int argc, char** argv) {
     } else if (arg == "--checkpoint") {
       checkpoint_dir = next();
     } else if (arg == "--checkpoint-every") {
-      checkpoint_every = std::atoi(next());
+      checkpoint_every = static_cast<int>(
+          cli::parse_int(kTool, "--checkpoint-every", next(), 1, 1000000));
     } else if (arg == "--resume") {
       resume = true;
     } else if (arg == "--shards") {
@@ -862,22 +930,29 @@ int cmd_train(int argc, char** argv) {
     } else if (arg == "--no-overlap") {
       ooc_overlap = false;
     } else if (arg == "--inject-seed") {
-      fault_plan.seed = std::strtoull(next(), nullptr, 10);
+      fault_plan.seed =
+          cli::parse_uint(kTool, "--inject-seed", next(), 0,
+                          std::numeric_limits<std::uint64_t>::max());
       inject = true;
     } else if (arg == "--inject-nan-a") {
-      fault_plan.nan_a_prob = std::atof(next());
+      fault_plan.nan_a_prob =
+          cli::parse_double(kTool, "--inject-nan-a", next(), 0.0, 1.0);
       inject = true;
     } else if (arg == "--inject-inf-b") {
-      fault_plan.inf_b_prob = std::atof(next());
+      fault_plan.inf_b_prob =
+          cli::parse_double(kTool, "--inject-inf-b", next(), 0.0, 1.0);
       inject = true;
     } else if (arg == "--inject-indefinite-a") {
-      fault_plan.indefinite_a_prob = std::atof(next());
+      fault_plan.indefinite_a_prob = cli::parse_double(
+          kTool, "--inject-indefinite-a", next(), 0.0, 1.0);
       inject = true;
     } else if (arg == "--inject-fp16-overflow") {
-      fault_plan.fp16_overflow_prob = std::atof(next());
+      fault_plan.fp16_overflow_prob = cli::parse_double(
+          kTool, "--inject-fp16-overflow", next(), 0.0, 1.0);
       inject = true;
     } else if (arg == "--crash-after-epoch") {
-      fault_plan.crash_at_epoch = std::atoi(next());
+      fault_plan.crash_at_epoch = static_cast<int>(
+          cli::parse_int(kTool, "--crash-after-epoch", next(), 1, 1000000));
       inject = true;
     } else {
       std::fprintf(stderr, "cumf_train: unknown option '%s'\n", arg.c_str());
@@ -905,7 +980,7 @@ int cmd_train(int argc, char** argv) {
                    "matrix in memory)\n");
       return 2;
     }
-    if (host_mem == 0) {
+    if (host_mem == 0 && autotune_path.empty()) {
       std::fprintf(stderr,
                    "cumf_train: out-of-core training requires --host-mem\n");
       return 2;
@@ -993,6 +1068,83 @@ int cmd_train(int argc, char** argv) {
     }
     std::printf("  %u x %u, %llu ratings\n", ratings.rows(), ratings.cols(),
                 static_cast<unsigned long long>(ratings.nnz()));
+  }
+
+  // --auto-tune: load the tuned config keyed by this run's device x dataset
+  // fingerprint and apply its knobs. Explicit command-line flags win over
+  // the tuned values; a config for a different run is a hard error.
+  simd::KernelPath kernel_path = simd::kDefaultPath;
+  std::optional<tune::TunedConfig> tuned;
+  if (!autotune_path.empty()) {
+    if (implicit_alpha) {
+      std::fprintf(stderr,
+                   "cumf_train: --auto-tune only applies to the explicit "
+                   "ALS path\n");
+      return 2;
+    }
+    tune::TuneFingerprint expected;
+    expected.device = gpusim::DeviceSpec::maxwell_titan_x().name;
+    expected.rows = ooc ? shard_meta->rows : ratings.rows();
+    expected.cols = ooc ? shard_meta->cols : ratings.cols();
+    expected.nnz = ooc ? shard_meta->train_nnz + shard_meta->test_nnz
+                       : static_cast<std::uint64_t>(ratings.nnz());
+    expected.f = static_cast<std::uint32_t>(f);
+    expected.lambda = static_cast<float>(lambda);
+    try {
+      tuned = tune::load_tuned_config(autotune_path, expected);
+    } catch (const tune::TuneError& e) {
+      std::fprintf(stderr, "cumf_train: rejected tuned config [%s]: %s\n",
+                   tune::to_string(e.reason()), e.what());
+      return 2;
+    }
+    const tune::TuneChoice& tc = tuned->choice;
+    if (!tile_given) {
+      tile = tc.tile;
+    }
+    if (!bin_given) {
+      bin = tc.bin;
+    }
+    if (!solver_given) {
+      solver = tc.solver;
+    }
+    if (!fs_given) {
+      fs = tc.fs;
+    }
+    if (!schedule_given) {
+      schedule = tc.schedule;
+    }
+    if (gpus == 0 && tc.gpus > 1 && !ooc) {
+      gpus = tc.gpus;
+    } else if (!workers_given && gpus == 0) {
+      workers = tc.workers;
+    }
+    if (!link_given) {
+      link_name = tc.link;
+    }
+    kernel_path = tc.path;
+    if (ooc && host_mem == 0) {
+      host_mem = tc.ooc_host_bytes;
+    }
+    std::printf(
+        "auto-tune: tile=%d bin=%d solver=%s fs=%u schedule=%s path=%s "
+        "workers=%d gpus=%d link=%s — modeled epoch %.3g s vs default "
+        "%.3g s (%.2fx), searched %llu candidates (%llu pruned by model, "
+        "%llu probed)\n",
+        tc.tile, tc.bin, solver_cli_name(tc.solver), tc.fs,
+        to_string(tc.schedule), to_string(tc.path), tc.workers, tc.gpus,
+        tc.link.c_str(), tuned->model_epoch_s, tuned->default_epoch_s,
+        tuned->model_epoch_s > 0
+            ? tuned->default_epoch_s / tuned->model_epoch_s
+            : 0.0,
+        static_cast<unsigned long long>(tuned->candidates),
+        static_cast<unsigned long long>(tuned->pruned),
+        static_cast<unsigned long long>(tuned->finalists));
+  }
+  if (ooc && host_mem == 0) {
+    std::fprintf(stderr,
+                 "cumf_train: out-of-core training requires --host-mem "
+                 "(or an --auto-tune config with a host budget)\n");
+    return 2;
   }
 
   Rng rng(seed);
@@ -1155,6 +1307,10 @@ int cmd_train(int argc, char** argv) {
     options.lambda = static_cast<real_t>(lambda);
     options.solver.kind = solver;
     options.solver.cg_fs = fs;
+    options.solver.path = kernel_path;
+    options.hermitian.tile = pick_tile(static_cast<std::size_t>(f), tile);
+    options.hermitian.bin = bin;
+    options.schedule = schedule;
     options.workers = workers;
     options.seed = seed;
 
@@ -1167,6 +1323,9 @@ int cmd_train(int argc, char** argv) {
     cfg.epochs = epochs;
     cfg.solver = solver;
     cfg.fs = fs;
+    cfg.tile = tile;
+    cfg.bin = bin;
+    cfg.schedule = schedule;
     cfg.workers = workers;
     cfg.gpus = gpus;
     cfg.link_name = link_name;
@@ -1181,6 +1340,9 @@ int cmd_train(int argc, char** argv) {
     cfg.device_mem = device_mem;
     cfg.ooc_overlap = ooc_overlap;
     cfg.prof_summary = prof_summary;
+    if (tuned) {
+      cfg.tuned_json = tune::tuned_config_payload(*tuned);
+    }
 
     int rc = 0;
     if (ooc) {
@@ -1270,6 +1432,18 @@ int cmd_train(int argc, char** argv) {
                                               summary.roof_device)
                       .c_str());
     }
+    if (tuned && !tuned->verdicts.empty()) {
+      std::printf(
+          "\nauto-tune winner (modeled epoch %.3g s, %.2fx over default) "
+          "— why it wins:\n%s",
+          tuned->model_epoch_s,
+          tuned->model_epoch_s > 0
+              ? tuned->default_epoch_s / tuned->model_epoch_s
+              : 0.0,
+          prof::render_roofline_table(tuned->verdicts,
+                                      tuned->fingerprint.device)
+              .c_str());
+    }
   }
   return 0;
 }
@@ -1296,11 +1470,13 @@ int cmd_recommend(int argc, char** argv) {
   }
   const auto model = read_model_file(argv[2]);
   auto ratings = load_ratings_file(argv[3], LoaderOptions{});
-  const auto user = static_cast<index_t>(std::atoi(argv[4]));
+  const auto user = static_cast<index_t>(cli::parse_uint(
+      kTool, "<user>", argv[4], 0, std::numeric_limits<index_t>::max()));
   std::size_t k = 10;
   for (int i = 5; i < argc - 1; ++i) {
     if (std::strcmp(argv[i], "-k") == 0) {
-      k = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+      k = static_cast<std::size_t>(
+          cli::parse_uint(kTool, "-k", argv[i + 1], 1, 1000000));
     }
   }
   ratings.sort_and_dedup();
